@@ -1,0 +1,59 @@
+// §8.1.3 model-accuracy experiment: the optimizations (matrix-based bulk
+// sampling, distribution) must not affect accuracy.
+//
+// The paper reports 77.8% on OGB products (within 1% of the OGB GraphSAGE
+// baseline). Products' true labels are unavailable offline, so accuracy is
+// checked on the planted-partition dataset where the Bayes-optimal labels
+// are known by construction: a 3-layer SAGE must reach high test accuracy,
+// and the result must be identical for any bulk size k and unaffected by
+// the process count used for sampling.
+#include "bench_util.hpp"
+
+using namespace dms;
+using namespace dms::bench;
+
+namespace {
+
+double train_and_eval(const Dataset& ds, int p, int c, index_t bulk_k, int epochs,
+                      double* final_loss) {
+  Cluster cluster(ProcessGrid(p, c), CostModel(perlmutter_links()));
+  PipelineConfig cfg;
+  cfg.sampler = SamplerKind::kGraphSage;
+  cfg.batch_size = 128;
+  cfg.fanouts = {8, 4, 4};
+  cfg.hidden = 32;
+  cfg.lr = 5e-3f;
+  cfg.bulk_k = bulk_k;
+  Pipeline pipe(cluster, ds, cfg);
+  double loss = 0.0;
+  for (int e = 0; e < epochs; ++e) loss = pipe.run_epoch(e).loss;
+  if (final_loss != nullptr) *final_loss = loss;
+  return pipe.evaluate(ds.test_idx, {12, 12, 12});  // larger eval fanout (§8.1.3)
+}
+
+}  // namespace
+
+int main() {
+  print_header("§8.1.3 Accuracy: bulk sampling does not change what is learned");
+  const Dataset ds =
+      make_planted_dataset(/*n=*/8192, /*classes=*/8, /*f=*/32,
+                           /*avg_degree=*/10.0, /*p_intra=*/0.85, /*seed=*/21);
+  std::printf("dataset: %s\n", ds.graph.summary(ds.name).c_str());
+
+  print_row({"config", "test-acc", "final-loss"}, 22);
+  double loss_a = 0, loss_b = 0, loss_c = 0;
+  const double acc_bulk_all = train_and_eval(ds, 4, 2, 0, 10, &loss_a);
+  print_row({"p=4 c=2 k=all", fmt(acc_bulk_all, 4), fmt(loss_a, 4)}, 22);
+  const double acc_bulk_small = train_and_eval(ds, 4, 2, 8, 10, &loss_b);
+  print_row({"p=4 c=2 k=8", fmt(acc_bulk_small, 4), fmt(loss_b, 4)}, 22);
+  const double acc_single = train_and_eval(ds, 1, 1, 0, 10, &loss_c);
+  print_row({"p=1 (serial)", fmt(acc_single, 4), fmt(loss_c, 4)}, 22);
+
+  const bool bulk_invariant = loss_a == loss_b;
+  std::printf("\nbulk-k invariance (identical loss trajectory): %s\n",
+              bulk_invariant ? "PASS" : "FAIL");
+  std::printf("8-class chance accuracy = 0.125; achieved %.3f (paper analog:\n"
+              "77.8%% on products, within 1%% of the OGB reference).\n",
+              acc_bulk_all);
+  return bulk_invariant && acc_bulk_all > 0.7 ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Figure 6: the Graph Replicated pipeline with the paper's per-p replication
+// factors vs no feature replication (c=1, bulk size capped as at p=4).
+//
+// Expected shape (§8.1.2): >2x degradation without replication on Papers
+// (both sampling-overhead and feature-fetch phases grow); smaller effect on
+// Protein, whose Figure 4 runs never exceeded c=2 anyway.
+#include "bench_util.hpp"
+
+using namespace dms;
+using namespace dms::bench;
+
+namespace {
+
+EpochStats run_point(const Dataset& ds, int p, int c, double k_fraction) {
+  Cluster cluster(ProcessGrid(p, c), CostModel(perlmutter_links()));
+  PipelineConfig cfg;
+  cfg.sampler = SamplerKind::kGraphSage;
+  cfg.mode = DistMode::kReplicated;
+  cfg.batch_size = arch().sage_batch;
+  cfg.fanouts = arch().sage_fanout;
+  cfg.hidden = arch().hidden;
+  const index_t nbatches = ds.num_batches(cfg.batch_size);
+  cfg.bulk_k = k_fraction >= 1.0
+                   ? 0
+                   : std::max<index_t>(p, static_cast<index_t>(k_fraction * nbatches));
+  Pipeline pipe(cluster, ds, cfg);
+  return pipe.run_epoch(0);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 6: pipeline with vs without feature replication (per-epoch s)");
+  for (const std::string name : {"papers", "protein"}) {
+    const Dataset& ds = dataset(name);
+    std::printf("\n--- %s ---\n", ds.name.c_str());
+    print_row({"p", "rep(c)", "total", "fetch", "norep", "fetch", "slowdown"}, 11);
+    for (const RunPoint& pt : fig4_points(name)) {
+      if (pt.p < 8) continue;  // c=1 is the baseline itself at p=4
+      const EpochStats rep = run_point(ds, pt.p, pt.c, pt.k_fraction);
+      // No replication: c=1 and the bulk size stays capped at the p=4 level
+      // (no aggregate-memory growth to exploit).
+      const EpochStats norep = run_point(ds, pt.p, 1, fig4_points(name)[0].k_fraction);
+      print_row({std::to_string(pt.p), std::to_string(pt.c), fmt(rep.total),
+                 fmt(rep.fetch), fmt(norep.total), fmt(norep.fetch),
+                 fmt(norep.total / rep.total, 2) + "x"},
+                11);
+    }
+  }
+  std::printf("\nPaper reference: >2x degradation without replication on Papers.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Micro-benchmarks of inverse transform sampling (the SAMPLE step), showing
+// the prefix-sum cost is negligible relative to SpGEMM (§2.3's claim).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/its.hpp"
+#include "sparse/coo.hpp"
+
+namespace {
+
+using namespace dms;
+
+CsrMatrix make_p(index_t rows, index_t row_nnz, index_t cols) {
+  CooMatrix coo(rows, cols);
+  Pcg32 rng(9);
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t i = 0; i < row_nnz; ++i) {
+      coo.push(r, rng.bounded64(cols), rng.uniform() + 0.01);
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+void BM_ItsSampleRows(benchmark::State& state) {
+  const auto rows = static_cast<index_t>(state.range(0));
+  const auto s = static_cast<index_t>(state.range(1));
+  const CsrMatrix p = make_p(rows, 64, 1 << 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(its_sample_rows(p, s, std::uint64_t{7}));
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_ItsSampleRows)
+    ->Args({1024, 5})
+    ->Args({1024, 15})
+    ->Args({16384, 5})
+    ->Args({16384, 15})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ItsWideRow(benchmark::State& state) {
+  // One LADIES-style row spanning many columns.
+  const auto nnz = static_cast<index_t>(state.range(0));
+  const CsrMatrix p = make_p(1, nnz, 1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(its_sample_rows(p, 512, std::uint64_t{11}));
+  }
+}
+BENCHMARK(BM_ItsWideRow)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17)->Unit(benchmark::kMillisecond);
+
+}  // namespace

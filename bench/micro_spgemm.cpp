@@ -1,0 +1,90 @@
+// Micro-benchmarks of the SpGEMM kernel (the workhorse of Algorithm 1) on
+// shapes representative of the sampling pipeline.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/spgemm.hpp"
+#include "sparse/spgemm_hash.hpp"
+
+namespace {
+
+using namespace dms;
+
+const Graph& bench_graph() {
+  static const Graph g = [] {
+    RmatParams p;
+    p.scale = 14;
+    p.edge_factor = 32.0;
+    return generate_rmat(p);
+  }();
+  return g;
+}
+
+/// P ← Q·A with Q one-nonzero-per-row (the GraphSAGE probability step).
+void BM_SpgemmQA(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const auto rows = static_cast<index_t>(state.range(0));
+  std::vector<index_t> frontier;
+  Pcg32 rng(3);
+  for (index_t i = 0; i < rows; ++i) frontier.push_back(rng.bounded64(g.num_vertices()));
+  const CsrMatrix q = CsrMatrix::one_nonzero_per_row(g.num_vertices(), frontier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spgemm(q, g.adjacency()));
+  }
+  state.SetItemsProcessed(state.iterations() * spgemm_flops(q, g.adjacency()));
+}
+BENCHMARK(BM_SpgemmQA)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+/// Indicator-row Q (LADIES probability step): few rows, many nonzeros each.
+void BM_SpgemmLadiesQA(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const auto batch = static_cast<index_t>(state.range(0));
+  CooMatrix coo(8, g.num_vertices());
+  Pcg32 rng(4);
+  for (index_t r = 0; r < 8; ++r) {
+    for (index_t i = 0; i < batch; ++i) coo.push(r, rng.bounded64(g.num_vertices()), 1.0);
+  }
+  const CsrMatrix q = CsrMatrix::from_coo(coo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spgemm(q, g.adjacency()));
+  }
+  state.SetItemsProcessed(state.iterations() * spgemm_flops(q, g.adjacency()));
+}
+BENCHMARK(BM_SpgemmLadiesQA)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+/// Dense-accumulator vs hash-accumulator kernel (nsparse-style) on the
+/// Q·A shape: hash wins when rows ≪ columns.
+void BM_SpgemmKernels(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  std::vector<index_t> frontier;
+  Pcg32 rng(6);
+  for (index_t i = 0; i < 1024; ++i) frontier.push_back(rng.bounded64(g.num_vertices()));
+  const CsrMatrix q = CsrMatrix::one_nonzero_per_row(g.num_vertices(), frontier);
+  const auto algo = static_cast<SpgemmAlgorithm>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spgemm_with(algo, q, g.adjacency()));
+  }
+}
+BENCHMARK(BM_SpgemmKernels)
+    ->Arg(static_cast<int>(SpgemmAlgorithm::kDenseAccumulator))
+    ->Arg(static_cast<int>(SpgemmAlgorithm::kHash))
+    ->Unit(benchmark::kMillisecond);
+
+/// Serial vs parallel kernel.
+void BM_SpgemmSerial(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  std::vector<index_t> frontier;
+  Pcg32 rng(5);
+  for (index_t i = 0; i < 2048; ++i) frontier.push_back(rng.bounded64(g.num_vertices()));
+  const CsrMatrix q = CsrMatrix::one_nonzero_per_row(g.num_vertices(), frontier);
+  SpgemmOptions opts;
+  opts.parallel = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spgemm(q, g.adjacency(), opts));
+  }
+}
+BENCHMARK(BM_SpgemmSerial)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,49 @@
+// Graph Partitioned sampling (§5.2): when the graph does not fit on one
+// device, partition it across a 1.5D process grid and sample through the
+// sparsity-aware 1.5D SpGEMM of Algorithm 2. This example samples a full
+// epoch of minibatches on papers-sim at p=16 for several replication
+// factors and prints the probability/sampling/extraction breakdown —
+// a miniature of Figure 7.
+#include <cstdio>
+
+#include "core/minibatch.hpp"
+#include "dist/dist_sampler.hpp"
+#include "graph/dataset.hpp"
+
+using namespace dms;
+
+int main() {
+  StandInConfig dcfg;
+  dcfg.scale_shift = -2;  // quarter-size papers-sim for a fast example
+  const Dataset ds = make_papers_sim(dcfg);
+  std::printf("%s\n\n", ds.graph.summary(ds.name).c_str());
+
+  const auto batches = make_epoch_batches(ds.train_idx, /*batch_size=*/64, 1);
+  std::vector<index_t> ids(batches.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<index_t>(i);
+  std::printf("sampling %zu minibatches in one bulk, 3-layer fanout (8,4,4)\n\n",
+              batches.size());
+
+  std::printf("%-4s %-4s %-12s %-12s %-12s %-12s %-10s %-10s\n", "p", "c", "total(s)",
+              "probability", "sampling", "extraction", "compute", "comm");
+  for (const int c : {1, 2, 4}) {
+    Cluster cluster(ProcessGrid(16, c), CostModel(LinkParams{}));
+    PartitionedSageSampler sampler(ds.graph, cluster.grid(), {{8, 4, 4}, 1});
+    const auto per_row = sampler.sample_bulk(cluster, batches, ids, /*epoch_seed=*/5);
+
+    std::size_t total_samples = 0;
+    for (const auto& row : per_row) total_samples += row.size();
+    std::printf("%-4d %-4d %-12.4f %-12.4f %-12.4f %-12.4f %-10.4f %-10.4f\n", 16, c,
+                cluster.total_time(), cluster.phase_time(kPhaseProbability),
+                cluster.phase_time(kPhaseSampling), cluster.phase_time(kPhaseExtraction),
+                cluster.total_compute(), cluster.total_comm());
+    if (total_samples != batches.size()) {
+      std::fprintf(stderr, "lost minibatches!\n");
+      return 1;
+    }
+  }
+  std::printf("\nHigher c replicates block rows -> less row-data traffic in the 1.5D\n"
+              "SpGEMM (Algorithm 2) at the cost of per-rank memory; communication\n"
+              "scales with c, matching the T_prob analysis of §5.2.1.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// End-to-end distributed training (Figure 3 pipeline): trains a 3-layer
+// GraphSAGE node classifier on a planted-partition dataset with a simulated
+// 8-GPU (c=2) cluster, printing the per-epoch time breakdown and final
+// accuracy — the §8.1.3 experiment at example scale.
+#include <cstdio>
+
+#include "graph/dataset.hpp"
+#include "train/pipeline.hpp"
+
+using namespace dms;
+
+int main() {
+  const Dataset ds = make_planted_dataset(/*n=*/4096, /*classes=*/8,
+                                          /*feature_dim=*/32, /*avg_degree=*/10.0,
+                                          /*p_intra=*/0.85, /*seed=*/17);
+  std::printf("%s\n", ds.graph.summary(ds.name).c_str());
+
+  LinkParams links;  // Perlmutter-like defaults (§7.2)
+  Cluster cluster(ProcessGrid(/*p=*/8, /*c=*/2), CostModel(links));
+
+  PipelineConfig cfg;
+  cfg.sampler = SamplerKind::kGraphSage;
+  cfg.mode = DistMode::kReplicated;  // graph fits on device (§5.1)
+  cfg.batch_size = 128;
+  cfg.fanouts = {8, 4, 4};
+  cfg.hidden = 32;
+  cfg.lr = 5e-3f;
+  cfg.bulk_k = 0;  // sample every minibatch of the epoch in one bulk
+  Pipeline pipe(cluster, ds, cfg);
+
+  std::printf("%-7s %-9s %-10s %-10s %-10s %-9s %-9s\n", "epoch", "loss",
+              "train-acc", "sampling", "fetch", "prop", "total(s)");
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    const EpochStats s = pipe.run_epoch(epoch);
+    std::printf("%-7d %-9.4f %-10.4f %-10.4f %-10.4f %-9.4f %-9.4f\n", epoch,
+                s.loss, s.train_acc, s.sampling, s.fetch, s.propagation, s.total);
+  }
+
+  const double val = pipe.evaluate(ds.val_idx, {12, 12, 12});
+  const double test = pipe.evaluate(ds.test_idx, {12, 12, 12});
+  std::printf("\nfinal accuracy: val %.4f, test %.4f (chance = %.4f)\n", val, test,
+              1.0 / ds.num_classes);
+  return test > 2.0 / ds.num_classes ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+#include "comm/cluster.hpp"
+
+#include <algorithm>
+
+namespace dms {
+
+void Cluster::superstep(const std::string& phase, const std::function<void(int)>& body) {
+  double max_t = 0.0;
+  for (int r = 0; r < grid_.size(); ++r) {
+    Timer t;
+    body(r);
+    max_t = std::max(max_t, t.seconds());
+  }
+  add_compute(phase, max_t);
+}
+
+void Cluster::superstep_recorded(const std::function<void(int, PhaseRecorder&)>& body) {
+  std::map<std::string, double> max_per_phase;
+  for (int r = 0; r < grid_.size(); ++r) {
+    PhaseRecorder rec;
+    body(r, rec);
+    for (const auto& [phase, sec] : rec.times()) {
+      max_per_phase[phase] = std::max(max_per_phase[phase], sec);
+    }
+  }
+  for (const auto& [phase, sec] : max_per_phase) add_compute(phase, sec);
+}
+
+void Cluster::add_compute(const std::string& phase, double seconds) {
+  compute_time_[phase] += seconds / model_.link().compute_scale;
+}
+
+void Cluster::add_compute_irregular(const std::string& phase, double seconds) {
+  compute_time_[phase] += seconds / model_.link().irregular_compute_scale;
+}
+
+void Cluster::record_comm(const std::string& phase, double seconds, std::size_t bytes,
+                          std::size_t messages) {
+  CommStats& s = comm_stats_[phase];
+  s.seconds += seconds;
+  s.bytes += bytes;
+  s.messages += messages;
+}
+
+void Cluster::add_overhead(const std::string& phase, double seconds) {
+  compute_time_[phase] += seconds;  // overheads are device-side, not scaled
+}
+
+double Cluster::total_compute() const {
+  double t = 0.0;
+  for (const auto& [_, sec] : compute_time_) t += sec;
+  return t;
+}
+
+double Cluster::total_comm() const {
+  double t = 0.0;
+  for (const auto& [_, s] : comm_stats_) t += s.seconds;
+  return t;
+}
+
+double Cluster::phase_time(const std::string& phase) const {
+  double t = 0.0;
+  if (const auto it = compute_time_.find(phase); it != compute_time_.end()) {
+    t += it->second;
+  }
+  if (const auto it = comm_stats_.find(phase); it != comm_stats_.end()) {
+    t += it->second.seconds;
+  }
+  return t;
+}
+
+void Cluster::reset_clock() {
+  compute_time_.clear();
+  comm_stats_.clear();
+}
+
+}  // namespace dms

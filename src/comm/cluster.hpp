@@ -1,0 +1,99 @@
+// Bulk-synchronous simulated cluster.
+//
+// Distributed algorithms in src/dist and src/train are written SPMD-style as
+// supersteps over per-rank local state. The Cluster executes every rank's
+// body (really running the computation on the host), measures each rank's
+// local compute wall-clock, and advances a simulated clock by
+//
+//     max over ranks of (measured compute / compute_scale)
+//
+// per superstep. Communication is performed by the caller as direct data
+// movement between per-rank structures, with exact volumes reported through
+// record_comm()/CostModel. This reproduces the timing structure of a real
+// bulk-synchronous GPU pipeline (Figure 3) without GPUs. See DESIGN.md §2.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "comm/costmodel.hpp"
+#include "comm/grid.hpp"
+#include "common/timer.hpp"
+
+namespace dms {
+
+/// Records sub-phase compute times from inside a rank body so the Cluster
+/// can attribute the max-over-ranks per phase (Figure 4/7 breakdowns).
+class PhaseRecorder {
+ public:
+  void add(const std::string& phase, double seconds) { times_[phase] += seconds; }
+  const std::map<std::string, double>& times() const { return times_; }
+
+ private:
+  std::map<std::string, double> times_;
+};
+
+/// Aggregate communication statistics per phase.
+struct CommStats {
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+  double seconds = 0.0;
+};
+
+class Cluster {
+ public:
+  Cluster(ProcessGrid grid, CostModel model)
+      : grid_(grid), model_(model) {}
+
+  const ProcessGrid& grid() const { return grid_; }
+  const CostModel& cost_model() const { return model_; }
+  int size() const { return grid_.size(); }
+
+  /// Runs body(rank) for every rank, adding max-over-ranks measured time to
+  /// compute phase `phase`.
+  void superstep(const std::string& phase, const std::function<void(int)>& body);
+
+  /// Runs body(rank, recorder); each rank attributes its own sub-phase
+  /// times. Unattributed time inside the body is *not* counted — use the
+  /// recorder for everything that should reach the clock.
+  void superstep_recorded(const std::function<void(int, PhaseRecorder&)>& body);
+
+  /// Adds pre-measured compute seconds to a phase (already max-over-ranks).
+  void add_compute(const std::string& phase, double seconds);
+
+  /// As add_compute, but for irregular per-vertex kernels (scaled by
+  /// irregular_compute_scale instead of compute_scale).
+  void add_compute_irregular(const std::string& phase, double seconds);
+
+  /// Records a communication event whose modeled time was computed with the
+  /// CostModel. Adds to the simulated clock.
+  void record_comm(const std::string& phase, double seconds, std::size_t bytes,
+                   std::size_t messages);
+
+  /// Adds a fixed overhead (e.g. per-minibatch kernel-launch cost).
+  void add_overhead(const std::string& phase, double seconds);
+
+  /// Simulated seconds per compute phase (already scaled by compute_scale).
+  const std::map<std::string, double>& compute_time() const { return compute_time_; }
+  /// Simulated seconds and volumes per communication phase.
+  const std::map<std::string, CommStats>& comm_stats() const { return comm_stats_; }
+
+  double total_compute() const;
+  double total_comm() const;
+  double total_time() const { return total_compute() + total_comm(); }
+
+  /// Seconds for a single phase across compute + comm tables.
+  double phase_time(const std::string& phase) const;
+
+  void reset_clock();
+
+ private:
+  ProcessGrid grid_;
+  CostModel model_;
+  std::map<std::string, double> compute_time_;
+  std::map<std::string, CommStats> comm_stats_;
+};
+
+}  // namespace dms

@@ -1,0 +1,32 @@
+#include "comm/grid.hpp"
+
+#include <numeric>
+
+namespace dms {
+
+ProcessGrid::ProcessGrid(int p, int c) : p_(p), c_(c) {
+  check(p >= 1 && c >= 1, "ProcessGrid: p and c must be positive");
+  check(p % c == 0, "ProcessGrid: replication factor c must divide p");
+}
+
+std::vector<int> ProcessGrid::row_ranks(int i) const {
+  check(i >= 0 && i < rows(), "ProcessGrid::row_ranks: row out of range");
+  std::vector<int> out(static_cast<std::size_t>(c_));
+  for (int j = 0; j < c_; ++j) out[static_cast<std::size_t>(j)] = rank_of(i, j);
+  return out;
+}
+
+std::vector<int> ProcessGrid::col_ranks(int j) const {
+  check(j >= 0 && j < c_, "ProcessGrid::col_ranks: column out of range");
+  std::vector<int> out(static_cast<std::size_t>(rows()));
+  for (int i = 0; i < rows(); ++i) out[static_cast<std::size_t>(i)] = rank_of(i, j);
+  return out;
+}
+
+std::vector<int> ProcessGrid::all_ranks() const {
+  std::vector<int> out(static_cast<std::size_t>(p_));
+  std::iota(out.begin(), out.end(), 0);
+  return out;
+}
+
+}  // namespace dms

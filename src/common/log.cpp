@@ -1,0 +1,23 @@
+#include "common/log.hpp"
+
+namespace dms {
+
+LogLevel& log_level() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < log_level()) return;
+  const char* tag = "";
+  switch (level) {
+    case LogLevel::kDebug: tag = "DEBUG"; break;
+    case LogLevel::kInfo: tag = "INFO "; break;
+    case LogLevel::kWarn: tag = "WARN "; break;
+    case LogLevel::kError: tag = "ERROR"; break;
+    case LogLevel::kOff: return;
+  }
+  std::fprintf(stderr, "[dms %s] %s\n", tag, msg.c_str());
+}
+
+}  // namespace dms

@@ -1,0 +1,23 @@
+// Minimal leveled logging. Benchmarks print structured tables themselves;
+// this logger is for diagnostics and progress lines.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dms {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold (default Info). Not thread-synchronized by design:
+/// set once at startup.
+LogLevel& log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+#define DMS_LOG_DEBUG(msg) ::dms::log_message(::dms::LogLevel::kDebug, (msg))
+#define DMS_LOG_INFO(msg) ::dms::log_message(::dms::LogLevel::kInfo, (msg))
+#define DMS_LOG_WARN(msg) ::dms::log_message(::dms::LogLevel::kWarn, (msg))
+#define DMS_LOG_ERROR(msg) ::dms::log_message(::dms::LogLevel::kError, (msg))
+
+}  // namespace dms

@@ -1,0 +1,11 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace dms {
+
+double Pcg32::box_muller(double u1, double u2) {
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace dms

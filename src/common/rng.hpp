@@ -1,0 +1,109 @@
+// Deterministic, splittable random number generation.
+//
+// Distributed sampling must be reproducible across process counts: a p-rank
+// run derives independent per-rank/per-minibatch streams from one root seed
+// via SplitMix64, so tests can compare a 1-rank and a p-rank execution of the
+// same logical sampler.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dms {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used both as a stream
+/// splitter and as the seeding function for Pcg32.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// PCG32 (O'Neill): small fast PRNG with good statistical quality.
+/// Satisfies UniformRandomBitGenerator so it composes with <random>.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next();
+    state_ += splitmix64(seed);
+    next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+
+  result_type operator()() { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next()) * (1.0 / 4294967296.0);
+  }
+
+  /// Uniform double in [0, hi).
+  double uniform(double hi) { return uniform() * hi; }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method).
+  std::uint32_t bounded(std::uint32_t n) {
+    std::uint64_t m = static_cast<std::uint64_t>(next()) * n;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < n) {
+      std::uint32_t t = -n % n;
+      while (lo < t) {
+        m = static_cast<std::uint64_t>(next()) * n;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Uniform index in [0, n). n must be positive and fit in 32 bits for the
+  /// fast path; larger ranges use rejection over 64 bits.
+  index_t bounded64(index_t n) {
+    if (n <= 0) return 0;
+    if (n <= 0xffffffffLL) return static_cast<index_t>(bounded(static_cast<std::uint32_t>(n)));
+    // 64-bit rejection sampling.
+    const auto un = static_cast<std::uint64_t>(n);
+    const std::uint64_t lim = ~0ULL - (~0ULL % un);
+    std::uint64_t v;
+    do {
+      v = (static_cast<std::uint64_t>(next()) << 32) | next();
+    } while (v >= lim);
+    return static_cast<index_t>(v % un);
+  }
+
+  /// Standard normal via Box-Muller (used for synthetic feature generation).
+  double normal() {
+    double u1 = 0.0;
+    while (u1 <= 1e-12) u1 = uniform();
+    return box_muller(u1, uniform());
+  }
+
+ private:
+  static double box_muller(double u1, double u2);
+
+  std::uint32_t next() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+  }
+
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Derives a child seed for a named logical stream (rank, batch, layer, ...).
+inline std::uint64_t derive_seed(std::uint64_t root, std::uint64_t a,
+                                 std::uint64_t b = 0, std::uint64_t c = 0) {
+  return splitmix64(splitmix64(splitmix64(root ^ a) + b) ^ (c * 0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace dms

@@ -1,0 +1,58 @@
+// Simple fork-join thread pool used to execute simulated ranks in parallel.
+//
+// The simulator's supersteps are embarrassingly parallel across ranks
+// (bulk-synchronous SPMD), so the only primitive needed is parallel_for.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dms {
+
+/// Fixed-size pool executing parallel_for loops. Construction spawns the
+/// workers; destruction joins them. A pool with 0 or 1 threads degrades to
+/// serial execution (useful for deterministic timing runs).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for i in [0, n), statically chunked across the pool plus the
+  /// calling thread. Blocks until all iterations complete. Exceptions from
+  /// fn propagate to the caller (first one wins).
+  void parallel_for(index_t n, const std::function<void(index_t)>& fn);
+
+  /// Shared process-wide pool sized to the hardware.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(index_t)>* fn = nullptr;
+    index_t begin = 0;
+    index_t end = 0;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<Task> tasks_;
+  int pending_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace dms

@@ -1,0 +1,45 @@
+// Wall-clock timing utilities used by the simulator to measure per-rank
+// local compute inside bulk-synchronous supersteps.
+#pragma once
+
+#include <chrono>
+
+namespace dms {
+
+/// Monotonic stopwatch measuring seconds.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop windows (e.g. the per-phase
+/// breakdowns of Figure 7: probability / sampling / extraction).
+class Stopwatch {
+ public:
+  void start() { timer_.reset(); running_ = true; }
+  void stop() {
+    if (running_) total_ += timer_.seconds();
+    running_ = false;
+  }
+  void add(double sec) { total_ += sec; }
+  double total() const { return total_; }
+  void reset() { total_ = 0.0; running_ = false; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace dms

@@ -1,0 +1,40 @@
+// Matrix-based FastGCN sampler (Chen et al. 2018) — the simplest layer-wise
+// algorithm (§2.2.2), included as the framework-extension the paper's
+// conclusion calls for ("we hope to express additional sampling algorithms
+// in this framework").
+//
+// FastGCN samples s vertices per layer from a *batch-independent*
+// distribution q_v ∝ ‖A(:,v)‖² (squared in-degree for a 0/1 adjacency);
+// edges between consecutive layers are kept via the same Q_R·A·Q_C
+// extraction as LADIES. Because every row of P is the same distribution,
+// the implementation shares one prefix sum across all batches instead of
+// materializing the k×n P matrix (an optimization the matrix framework
+// permits; semantics are identical).
+#pragma once
+
+#include "core/sampler.hpp"
+
+namespace dms {
+
+class FastGcnSampler : public MatrixSampler {
+ public:
+  FastGcnSampler(const Graph& graph, SamplerConfig config);
+
+  std::vector<MinibatchSample> sample_bulk(
+      const std::vector<std::vector<index_t>>& batches,
+      const std::vector<index_t>& batch_ids,
+      std::uint64_t epoch_seed) const override;
+
+  const SamplerConfig& config() const override { return config_; }
+
+  /// The global FastGCN distribution q (unnormalized: squared in-degrees).
+  const std::vector<value_t>& importance() const { return importance_; }
+
+ private:
+  const Graph& graph_;
+  SamplerConfig config_;
+  std::vector<value_t> importance_;         // q_v ∝ in_deg(v)²
+  std::vector<value_t> importance_prefix_;  // shared ITS prefix sum
+};
+
+}  // namespace dms

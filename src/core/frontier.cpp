@@ -1,0 +1,37 @@
+#include "core/frontier.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sparse/coo.hpp"
+
+namespace dms {
+
+LayerSample build_layer_sample(const std::vector<index_t>& row_vertices,
+                               const std::vector<std::vector<index_t>>& sampled_per_row) {
+  check(row_vertices.size() == sampled_per_row.size(),
+        "build_layer_sample: row count mismatch");
+  LayerSample out;
+  out.row_vertices = row_vertices;
+  out.col_vertices = row_vertices;  // frontier leads with the row vertices
+  std::unordered_map<index_t, index_t> pos;
+  pos.reserve(row_vertices.size() * 2);
+  for (std::size_t i = 0; i < row_vertices.size(); ++i) {
+    pos.emplace(row_vertices[i], static_cast<index_t>(i));
+  }
+  CooMatrix coo(static_cast<index_t>(row_vertices.size()), 0);
+  for (std::size_t r = 0; r < sampled_per_row.size(); ++r) {
+    for (const index_t v : sampled_per_row[r]) {
+      auto [it, inserted] = pos.emplace(v, static_cast<index_t>(out.col_vertices.size()));
+      if (inserted) out.col_vertices.push_back(v);
+      coo.push(static_cast<index_t>(r), it->second, 1.0);
+    }
+  }
+  coo.cols = static_cast<index_t>(out.col_vertices.size());
+  out.adj = CsrMatrix::from_coo(coo);
+  // Pattern matrix: duplicate (row, col) pairs would have been summed.
+  for (auto& v : out.adj.mutable_vals()) v = 1.0;
+  return out;
+}
+
+}  // namespace dms

@@ -1,0 +1,18 @@
+// Frontier construction: converts per-row sampled vertex lists into a
+// LayerSample whose column space is [row vertices..., new samples...]
+// (see sampler.hpp for the convention).
+#pragma once
+
+#include <vector>
+
+#include "core/sampler.hpp"
+
+namespace dms {
+
+/// Builds one LayerSample. sampled_per_row[i] lists the global vertex ids
+/// sampled for row vertex row_vertices[i] (duplicates across rows are
+/// merged into one frontier column).
+LayerSample build_layer_sample(const std::vector<index_t>& row_vertices,
+                               const std::vector<std::vector<index_t>>& sampled_per_row);
+
+}  // namespace dms

@@ -1,0 +1,89 @@
+#include "core/graphsage.hpp"
+
+#include "common/rng.hpp"
+#include "core/frontier.hpp"
+#include "core/its.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace dms {
+
+GraphSageSampler::GraphSageSampler(const Graph& graph, SamplerConfig config)
+    : graph_(graph), config_(std::move(config)) {
+  check(!config_.fanouts.empty(), "GraphSageSampler: fanouts must be non-empty");
+  for (const index_t f : config_.fanouts) {
+    check(f > 0, "GraphSageSampler: fanouts must be positive");
+  }
+}
+
+std::vector<MinibatchSample> GraphSageSampler::sample_bulk(
+    const std::vector<std::vector<index_t>>& batches,
+    const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed) const {
+  check(batches.size() == batch_ids.size(), "sample_bulk: ids/batches mismatch");
+  const index_t k = static_cast<index_t>(batches.size());
+  const index_t n = graph_.num_vertices();
+  const index_t num_layers = config_.num_layers();
+
+  std::vector<MinibatchSample> out(static_cast<std::size_t>(k));
+  std::vector<std::vector<index_t>> frontier(static_cast<std::size_t>(k));
+  for (index_t i = 0; i < k; ++i) {
+    out[static_cast<std::size_t>(i)].batch_vertices = batches[static_cast<std::size_t>(i)];
+    frontier[static_cast<std::size_t>(i)] = batches[static_cast<std::size_t>(i)];
+  }
+
+  for (index_t l = 0; l < num_layers; ++l) {
+    const index_t s = config_.fanouts[static_cast<std::size_t>(l)];
+
+    // --- Stack the per-batch Q blocks (Eq. 1): one nonzero per row. ---
+    std::vector<index_t> stacked;
+    std::vector<index_t> block_offset(static_cast<std::size_t>(k) + 1, 0);
+    for (index_t i = 0; i < k; ++i) {
+      const auto& f = frontier[static_cast<std::size_t>(i)];
+      stacked.insert(stacked.end(), f.begin(), f.end());
+      block_offset[static_cast<std::size_t>(i) + 1] = static_cast<index_t>(stacked.size());
+    }
+    const CsrMatrix q = CsrMatrix::one_nonzero_per_row(n, stacked);
+
+    // --- Generate probability distributions: P ← Q·A, NORM(P). ---
+    CsrMatrix p = spgemm(q, graph_.adjacency());
+    normalize_rows(p);
+
+    // --- SAMPLE(P, b, s) with ITS; seeds keyed by (epoch, batch, layer,
+    // local row) so results do not depend on k or the rank layout. ---
+    // Map stacked row -> (batch index, local row) for the seed function.
+    std::vector<index_t> row_batch(static_cast<std::size_t>(stacked.size()));
+    for (index_t i = 0; i < k; ++i) {
+      for (index_t r = block_offset[static_cast<std::size_t>(i)];
+           r < block_offset[static_cast<std::size_t>(i) + 1]; ++r) {
+        row_batch[static_cast<std::size_t>(r)] = i;
+      }
+    }
+    const CsrMatrix qs = its_sample_rows(p, s, [&](index_t row) {
+      const index_t i = row_batch[static_cast<std::size_t>(row)];
+      const index_t local = row - block_offset[static_cast<std::size_t>(i)];
+      return derive_seed(epoch_seed,
+                         static_cast<std::uint64_t>(batch_ids[static_cast<std::size_t>(i)]),
+                         static_cast<std::uint64_t>(l),
+                         static_cast<std::uint64_t>(local));
+    });
+
+    // --- EXTRACT per batch block: renumber sampled columns into the new
+    // frontier (row vertices lead, §4.1.3). ---
+    for (index_t i = 0; i < k; ++i) {
+      const index_t r0 = block_offset[static_cast<std::size_t>(i)];
+      const index_t r1 = block_offset[static_cast<std::size_t>(i) + 1];
+      std::vector<std::vector<index_t>> sampled(static_cast<std::size_t>(r1 - r0));
+      for (index_t r = r0; r < r1; ++r) {
+        const auto cols = qs.row_cols(r);
+        sampled[static_cast<std::size_t>(r - r0)].assign(cols.begin(), cols.end());
+      }
+      LayerSample layer =
+          build_layer_sample(frontier[static_cast<std::size_t>(i)], sampled);
+      frontier[static_cast<std::size_t>(i)] = layer.col_vertices;
+      out[static_cast<std::size_t>(i)].layers.push_back(std::move(layer));
+    }
+  }
+  return out;
+}
+
+}  // namespace dms

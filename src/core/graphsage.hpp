@@ -1,0 +1,34 @@
+// Matrix-based GraphSAGE sampler (§4.1).
+//
+// Per layer (Algorithm 1 with the GraphSAGE constructions):
+//   Q     one nonzero per row, column = frontier vertex id        (§4.1.1)
+//   P     ← Q·A (SpGEMM), then NORM = row normalization → 1/|N(v)|
+//   Qˡ⁻¹  ← SAMPLE(P, s) via ITS, s distinct neighbors per vertex (§4.1.2)
+//   Aˡ    ← per-batch extraction (remove empty columns / renumber) (§4.1.3)
+// Bulk sampling stacks the per-batch blocks vertically (Eq. 1) and runs the
+// identical matrix operations on the stacked matrices (§4.1.4).
+#pragma once
+
+#include "core/sampler.hpp"
+
+namespace dms {
+
+class GraphSageSampler : public MatrixSampler {
+ public:
+  /// The graph must outlive the sampler (topology is borrowed, mirroring the
+  /// on-device adjacency of the replicated algorithm).
+  GraphSageSampler(const Graph& graph, SamplerConfig config);
+
+  std::vector<MinibatchSample> sample_bulk(
+      const std::vector<std::vector<index_t>>& batches,
+      const std::vector<index_t>& batch_ids,
+      std::uint64_t epoch_seed) const override;
+
+  const SamplerConfig& config() const override { return config_; }
+
+ private:
+  const Graph& graph_;
+  SamplerConfig config_;
+};
+
+}  // namespace dms

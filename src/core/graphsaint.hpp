@@ -1,0 +1,47 @@
+// Matrix-based GraphSAINT-RW sampler — a *graph-wise* sampling algorithm
+// (the third taxonomy of §2.2, which the paper leaves to future work:
+// "we hope to express additional sampling algorithms in this framework").
+//
+// GraphSAINT (Zeng et al. 2020) builds each minibatch as the subgraph
+// induced by the union of short random walks from the batch roots. In the
+// matrix framework every step is an existing primitive:
+//   walk step:     P ← Q·A, NORM(P), Q' ← SAMPLE(P, 1)   (ITS with s=1)
+//   subgraph:      V_s = ∪ visited;  A_s = rows/columns of A on V_s
+//                  (row extraction + column extraction, §4.2.3)
+// An L-layer model trains on the same induced adjacency at every layer, so
+// the emitted MinibatchSample repeats A_s L times with rows == columns ==
+// V_s (consistent with the frontier convention of sampler.hpp).
+#pragma once
+
+#include "core/sampler.hpp"
+
+namespace dms {
+
+struct GraphSaintConfig {
+  index_t walk_length = 2;   ///< steps per random walk
+  index_t model_layers = 1;  ///< how many (identical) layers to emit
+  std::uint64_t seed = 1;
+};
+
+class GraphSaintSampler : public MatrixSampler {
+ public:
+  GraphSaintSampler(const Graph& graph, GraphSaintConfig config);
+
+  /// batches[i] holds the walk roots of minibatch i. The sample's
+  /// batch_vertices are the full induced vertex set V_s (GraphSAINT trains
+  /// on every labeled vertex of the subgraph).
+  std::vector<MinibatchSample> sample_bulk(
+      const std::vector<std::vector<index_t>>& batches,
+      const std::vector<index_t>& batch_ids,
+      std::uint64_t epoch_seed) const override;
+
+  const SamplerConfig& config() const override { return sampler_config_; }
+  const GraphSaintConfig& saint_config() const { return config_; }
+
+ private:
+  const Graph& graph_;
+  GraphSaintConfig config_;
+  SamplerConfig sampler_config_;  // adapter for the MatrixSampler interface
+};
+
+}  // namespace dms

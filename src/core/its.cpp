@@ -1,0 +1,91 @@
+#include "core/its.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace dms {
+
+namespace {
+
+/// Draws one index from the prefix-sum distribution via binary search:
+/// the index i such that prefix[i] <= u < prefix[i+1].
+index_t draw(const std::vector<value_t>& prefix, Pcg32& rng) {
+  const value_t total = prefix.back();
+  const value_t u = static_cast<value_t>(rng.uniform()) * total;
+  const auto it = std::upper_bound(prefix.begin() + 1, prefix.end(), u);
+  const auto idx = static_cast<index_t>(it - prefix.begin()) - 1;
+  return std::min<index_t>(idx, static_cast<index_t>(prefix.size()) - 2);
+}
+
+}  // namespace
+
+void its_sample_one(const std::vector<value_t>& prefix, index_t s,
+                    std::uint64_t seed, std::vector<index_t>* out) {
+  out->clear();
+  const auto m = static_cast<index_t>(prefix.size()) - 1;
+  if (m <= 0 || prefix.back() <= 0.0) return;
+  if (m <= s) {  // take everything with positive mass
+    for (index_t i = 0; i < m; ++i) {
+      if (prefix[static_cast<std::size_t>(i) + 1] > prefix[static_cast<std::size_t>(i)]) {
+        out->push_back(i);
+      }
+    }
+    return;
+  }
+  Pcg32 rng(seed, 0x175);
+  std::vector<char> chosen(static_cast<std::size_t>(m), 0);
+  index_t found = 0;
+  // Redraw-on-duplicate, as §4.1.2 describes. The attempt cap guards
+  // pathological weight skew; the deterministic sweep below completes the
+  // sample in that case.
+  const index_t max_attempts = 64 * s + 64;
+  for (index_t attempt = 0; attempt < max_attempts && found < s; ++attempt) {
+    const index_t idx = draw(prefix, rng);
+    if (!chosen[static_cast<std::size_t>(idx)]) {
+      chosen[static_cast<std::size_t>(idx)] = 1;
+      ++found;
+    }
+  }
+  for (index_t i = 0; i < m && found < s; ++i) {
+    const bool has_mass =
+        prefix[static_cast<std::size_t>(i) + 1] > prefix[static_cast<std::size_t>(i)];
+    if (has_mass && !chosen[static_cast<std::size_t>(i)]) {
+      chosen[static_cast<std::size_t>(i)] = 1;
+      ++found;
+    }
+  }
+  for (index_t i = 0; i < m; ++i) {
+    if (chosen[static_cast<std::size_t>(i)]) out->push_back(i);
+  }
+}
+
+CsrMatrix its_sample_rows(const CsrMatrix& p, index_t s, const RowSeedFn& row_seed) {
+  check(s >= 0, "its_sample_rows: negative s");
+  const index_t rows = p.rows();
+  std::vector<nnz_t> rowptr(static_cast<std::size_t>(rows) + 1, 0);
+  std::vector<index_t> colidx;
+  std::vector<value_t> vals;
+  std::vector<value_t> prefix;
+  std::vector<index_t> picked;
+  for (index_t r = 0; r < rows; ++r) {
+    const auto rvals = p.row_vals(r);
+    const auto rcols = p.row_cols(r);
+    prefix.assign(1, 0.0);
+    prefix.reserve(rvals.size() + 1);
+    for (const value_t v : rvals) prefix.push_back(prefix.back() + std::max(v, 0.0));
+    its_sample_one(prefix, s, row_seed(r), &picked);
+    for (const index_t local : picked) {
+      colidx.push_back(rcols[static_cast<std::size_t>(local)]);
+      vals.push_back(1.0);
+    }
+    rowptr[static_cast<std::size_t>(r) + 1] = static_cast<nnz_t>(colidx.size());
+  }
+  return CsrMatrix(rows, p.cols(), std::move(rowptr), std::move(colidx), std::move(vals));
+}
+
+CsrMatrix its_sample_rows(const CsrMatrix& p, index_t s, std::uint64_t seed) {
+  return its_sample_rows(p, s, [seed](index_t row) { return derive_seed(seed, static_cast<std::uint64_t>(row)); });
+}
+
+}  // namespace dms

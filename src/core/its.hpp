@@ -1,0 +1,37 @@
+// Inverse Transform Sampling (ITS) from the rows of a probability matrix —
+// the SAMPLE step of Algorithm 1 (§4.1.2).
+//
+// For each row of P: build a prefix sum of the row's values, draw s uniform
+// randoms, binary-search each into the prefix sum, and redraw duplicates so
+// the s selected nonzero columns are distinct (sampling without
+// replacement). Rows with ≤ s nonzeros contribute all their nonzeros.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace dms {
+
+/// Per-row seed callback: must return the same seed for the same logical row
+/// regardless of how rows are distributed across ranks. This is what makes a
+/// p-rank run reproduce a 1-rank run sample-for-sample.
+using RowSeedFn = std::function<std::uint64_t(index_t row)>;
+
+/// Samples up to s distinct nonzero columns from each row of P proportional
+/// to the row's values. Returns a 0/1 matrix Q of the same shape with
+/// min(s, row_nnz) nonzeros per row (sorted column order).
+CsrMatrix its_sample_rows(const CsrMatrix& p, index_t s, const RowSeedFn& row_seed);
+
+/// Convenience overload: seeds derived as derive_seed(seed, row).
+CsrMatrix its_sample_rows(const CsrMatrix& p, index_t s, std::uint64_t seed);
+
+/// Samples s distinct indices from `weights` (size m, nonnegative, not all
+/// zero unless m == 0), writing ascending indices to `out`. Exposed for
+/// direct reuse by the loop-based baselines and for unit testing.
+void its_sample_one(const std::vector<value_t>& prefix, index_t s,
+                    std::uint64_t seed, std::vector<index_t>* out);
+
+}  // namespace dms

@@ -1,0 +1,150 @@
+#include "core/ladies.hpp"
+
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "core/its.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace dms {
+
+namespace {
+
+/// Builds the LADIES Q matrix: one row per batch, indicator of that batch's
+/// current vertex set (§4.2.1).
+CsrMatrix build_indicator_rows(index_t n, const std::vector<std::vector<index_t>>& sets) {
+  CooMatrix coo(static_cast<index_t>(sets.size()), n);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (const index_t v : sets[i]) coo.push(static_cast<index_t>(i), v, 1.0);
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+/// NORM for LADIES: square every value, then row-normalize (p_v ∝ e_v²).
+void ladies_norm(CsrMatrix& p) {
+  for (auto& v : p.mutable_vals()) v = v * v;
+  normalize_rows(p);
+}
+
+/// Column-extraction matrix Q_C ∈ {0,1}^{n×s}: one nonzero per column at the
+/// row index of each vertex to extract (§4.2.3).
+CsrMatrix build_column_extractor(index_t n, const std::vector<index_t>& sampled) {
+  CooMatrix coo(n, static_cast<index_t>(sampled.size()));
+  for (std::size_t j = 0; j < sampled.size(); ++j) {
+    coo.push(sampled[j], static_cast<index_t>(j), 1.0);
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+/// Assembles the LayerSample for one batch from the extracted A_S (rows =
+/// current set, columns = sampled order).
+LayerSample assemble_layer(const std::vector<index_t>& rows,
+                           const std::vector<index_t>& sampled, const CsrMatrix& a_s) {
+  LayerSample layer;
+  layer.row_vertices = rows;
+  layer.col_vertices = rows;
+  std::unordered_map<index_t, index_t> pos;
+  pos.reserve(rows.size() + sampled.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    pos.emplace(rows[i], static_cast<index_t>(i));
+  }
+  std::vector<index_t> col_map(sampled.size());
+  for (std::size_t j = 0; j < sampled.size(); ++j) {
+    auto [it, inserted] =
+        pos.emplace(sampled[j], static_cast<index_t>(layer.col_vertices.size()));
+    if (inserted) layer.col_vertices.push_back(sampled[j]);
+    col_map[j] = it->second;
+  }
+  CooMatrix coo(a_s.rows(), static_cast<index_t>(layer.col_vertices.size()));
+  for (index_t r = 0; r < a_s.rows(); ++r) {
+    for (const index_t c : a_s.row_cols(r)) {
+      coo.push(r, col_map[static_cast<std::size_t>(c)], 1.0);
+    }
+  }
+  layer.adj = CsrMatrix::from_coo(coo);
+  for (auto& v : layer.adj.mutable_vals()) v = 1.0;
+  return layer;
+}
+
+}  // namespace
+
+LadiesSampler::LadiesSampler(const Graph& graph, SamplerConfig config)
+    : graph_(graph), config_(std::move(config)) {
+  check(!config_.fanouts.empty(), "LadiesSampler: fanouts must be non-empty");
+}
+
+std::vector<value_t> LadiesSampler::probability_vector(
+    const std::vector<index_t>& batch) const {
+  const index_t n = graph_.num_vertices();
+  const CsrMatrix q = build_indicator_rows(n, {batch});
+  CsrMatrix p = spgemm(q, graph_.adjacency());
+  ladies_norm(p);
+  std::vector<value_t> dense(static_cast<std::size_t>(n), 0.0);
+  for (index_t i = 0; i < p.row_nnz(0); ++i) {
+    dense[static_cast<std::size_t>(p.colidx()[static_cast<std::size_t>(i)])] =
+        p.vals()[static_cast<std::size_t>(i)];
+  }
+  return dense;
+}
+
+std::vector<MinibatchSample> LadiesSampler::sample_bulk(
+    const std::vector<std::vector<index_t>>& batches,
+    const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed) const {
+  check(batches.size() == batch_ids.size(), "sample_bulk: ids/batches mismatch");
+  const index_t k = static_cast<index_t>(batches.size());
+  const index_t n = graph_.num_vertices();
+  const index_t num_layers = config_.num_layers();
+
+  std::vector<MinibatchSample> out(static_cast<std::size_t>(k));
+  std::vector<std::vector<index_t>> current(static_cast<std::size_t>(k));
+  for (index_t i = 0; i < k; ++i) {
+    out[static_cast<std::size_t>(i)].batch_vertices = batches[static_cast<std::size_t>(i)];
+    current[static_cast<std::size_t>(i)] = batches[static_cast<std::size_t>(i)];
+  }
+
+  for (index_t l = 0; l < num_layers; ++l) {
+    const index_t s = config_.fanouts[static_cast<std::size_t>(l)];
+
+    // --- Probability generation on the stacked Q (one row per batch). ---
+    const CsrMatrix q = build_indicator_rows(n, current);
+    CsrMatrix p = spgemm(q, graph_.adjacency());
+    ladies_norm(p);
+
+    // --- SAMPLE: s vertices per batch row. ---
+    const CsrMatrix qs = its_sample_rows(p, s, [&](index_t row) {
+      return derive_seed(epoch_seed,
+                         static_cast<std::uint64_t>(batch_ids[static_cast<std::size_t>(row)]),
+                         static_cast<std::uint64_t>(l), 0);
+    });
+
+    // --- EXTRACT: stacked row extraction, per-batch column extraction
+    // (batch of small CSR SpGEMMs, §4.2.4 / §8.2.2). ---
+    std::vector<CsrMatrix> qr_blocks;
+    qr_blocks.reserve(static_cast<std::size_t>(k));
+    for (index_t i = 0; i < k; ++i) {
+      qr_blocks.push_back(
+          CsrMatrix::one_nonzero_per_row(n, current[static_cast<std::size_t>(i)]));
+    }
+    const CsrMatrix qr = vstack(qr_blocks);
+    const CsrMatrix ar = spgemm(qr, graph_.adjacency());
+
+    index_t row_offset = 0;
+    for (index_t i = 0; i < k; ++i) {
+      const auto& rows = current[static_cast<std::size_t>(i)];
+      const auto nrows = static_cast<index_t>(rows.size());
+      std::vector<index_t> sampled(qs.row_cols(i).begin(), qs.row_cols(i).end());
+      const CsrMatrix ar_i = row_slice(ar, row_offset, row_offset + nrows);
+      const CsrMatrix qc = build_column_extractor(n, sampled);
+      const CsrMatrix a_s = spgemm(ar_i, qc);
+      LayerSample layer = assemble_layer(rows, sampled, a_s);
+      current[static_cast<std::size_t>(i)] = layer.col_vertices;
+      out[static_cast<std::size_t>(i)].layers.push_back(std::move(layer));
+      row_offset += nrows;
+    }
+  }
+  return out;
+}
+
+}  // namespace dms

@@ -1,0 +1,41 @@
+// Matrix-based LADIES sampler (§4.2) — the paper's layer-wise example and,
+// distributed, the first fully distributed LADIES implementation (§1).
+//
+// Per layer (Algorithm 1 with the LADIES constructions):
+//   Q     one row per batch with |S| nonzeros (indicator of the batch /
+//         current layer set), §4.2.1
+//   P     ← Q·A; NORM squares each entry and row-normalizes, giving
+//         p_v = e_v² / Σ_u e_u²  (Zou et al. 2019)
+//   Qˡ⁻¹  ← SAMPLE(P, s): s vertices per batch via ITS, §4.2.2
+//   Aˡ    ← Q_R · A · Q_C row/column-extraction SpGEMMs, §4.2.3
+// Bulk mode stacks Q and the Q_R blocks; the column extraction runs as a
+// batch of small SpGEMMs (the block-diagonal construction of §4.2.4, split
+// exactly the way §8.2.2 describes for CSR memory reasons).
+#pragma once
+
+#include "core/sampler.hpp"
+
+namespace dms {
+
+class LadiesSampler : public MatrixSampler {
+ public:
+  LadiesSampler(const Graph& graph, SamplerConfig config);
+
+  std::vector<MinibatchSample> sample_bulk(
+      const std::vector<std::vector<index_t>>& batches,
+      const std::vector<index_t>& batch_ids,
+      std::uint64_t epoch_seed) const override;
+
+  const SamplerConfig& config() const override { return config_; }
+
+  /// The LADIES probability vector for one batch over all n vertices:
+  /// p_v = e_v² / Σ e_u² where e_v = |N(v) ∩ batch|. Exposed for tests
+  /// (it is the distribution of Figure 1's example).
+  std::vector<value_t> probability_vector(const std::vector<index_t>& batch) const;
+
+ private:
+  const Graph& graph_;
+  SamplerConfig config_;
+};
+
+}  // namespace dms

@@ -1,0 +1,26 @@
+#include "core/minibatch.hpp"
+
+#include "common/rng.hpp"
+
+namespace dms {
+
+std::vector<std::vector<index_t>> make_epoch_batches(
+    const std::vector<index_t>& train_idx, index_t batch_size,
+    std::uint64_t epoch_seed) {
+  check(batch_size > 0, "make_epoch_batches: batch_size must be positive");
+  std::vector<index_t> perm = train_idx;
+  Pcg32 rng(derive_seed(epoch_seed, 0x6a7c), 0x91);
+  for (index_t i = static_cast<index_t>(perm.size()) - 1; i > 0; --i) {
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(rng.bounded64(i + 1))]);
+  }
+  std::vector<std::vector<index_t>> batches;
+  const auto total = static_cast<index_t>(perm.size());
+  for (index_t start = 0; start < total; start += batch_size) {
+    const index_t stop = std::min<index_t>(total, start + batch_size);
+    batches.emplace_back(perm.begin() + start, perm.begin() + stop);
+  }
+  return batches;
+}
+
+}  // namespace dms

@@ -1,0 +1,18 @@
+// Minibatch scheduling: deterministic per-epoch permutation of the training
+// set, partitioned into size-b batches (§6.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dms {
+
+/// Produces the minibatches of one epoch: a seeded Fisher–Yates shuffle of
+/// train_idx split into ceil(|train|/b) batches (last batch may be short).
+std::vector<std::vector<index_t>> make_epoch_batches(
+    const std::vector<index_t>& train_idx, index_t batch_size,
+    std::uint64_t epoch_seed);
+
+}  // namespace dms

@@ -1,0 +1,32 @@
+// Binary serialization for graphs and datasets, plus Matrix Market export.
+//
+// Generating the Table 3 stand-ins takes seconds, but real deployments load
+// preprocessed graphs from disk (DistDGL/Quiver both ship partitioned
+// binary formats); this module provides the equivalent so examples and
+// downstream users can persist datasets between runs.
+#pragma once
+
+#include <string>
+
+#include "graph/dataset.hpp"
+#include "sparse/csr.hpp"
+
+namespace dms {
+
+/// Writes a CSR matrix in a little-endian binary format (magic "DMSC").
+void save_csr(const CsrMatrix& m, const std::string& path);
+
+/// Reads a matrix written by save_csr; validates the result. Throws
+/// DmsError on malformed input.
+CsrMatrix load_csr(const std::string& path);
+
+/// Writes a full dataset (graph, features, labels, splits; magic "DMSD").
+void save_dataset(const Dataset& ds, const std::string& path);
+
+Dataset load_dataset(const std::string& path);
+
+/// Exports the sparsity pattern in MatrixMarket coordinate format for
+/// inspection with external tools.
+void write_matrix_market(const CsrMatrix& m, const std::string& path);
+
+}  // namespace dms

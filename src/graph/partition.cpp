@@ -1,0 +1,38 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+namespace dms {
+
+BlockPartition::BlockPartition(index_t total, index_t parts)
+    : total_(total), parts_(parts) {
+  check(total >= 0 && parts > 0, "BlockPartition: bad arguments");
+  offsets_.resize(static_cast<std::size_t>(parts) + 1);
+  const index_t base = total / parts;
+  const index_t extra = total % parts;
+  offsets_[0] = 0;
+  for (index_t p = 0; p < parts; ++p) {
+    offsets_[static_cast<std::size_t>(p) + 1] =
+        offsets_[static_cast<std::size_t>(p)] + base + (p < extra ? 1 : 0);
+  }
+}
+
+BlockPartition BlockPartition::from_offsets(std::vector<index_t> offsets) {
+  check(!offsets.empty() && offsets.front() == 0, "from_offsets: must start at 0");
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    check(offsets[i] <= offsets[i + 1], "from_offsets: offsets must be ascending");
+  }
+  BlockPartition p;
+  p.total_ = offsets.back();
+  p.parts_ = static_cast<index_t>(offsets.size()) - 1;
+  p.offsets_ = std::move(offsets);
+  return p;
+}
+
+index_t BlockPartition::owner(index_t g) const {
+  check(g >= 0 && g < total_, "BlockPartition::owner: row out of range");
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), g);
+  return static_cast<index_t>(it - offsets_.begin()) - 1;
+}
+
+}  // namespace dms

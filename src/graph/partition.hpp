@@ -1,0 +1,43 @@
+// Block-row partitioning helpers shared by the distributed matrices and the
+// 1.5D feature store (§5, §6).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dms {
+
+/// Describes a 1D block-row partition of `total` rows into `parts` blocks.
+/// Blocks are contiguous; the first (total % parts) blocks get one extra row
+/// — the standard balanced block distribution.
+class BlockPartition {
+ public:
+  BlockPartition() = default;
+  BlockPartition(index_t total, index_t parts);
+
+  /// Irregular partition from explicit offsets (offsets[0] == 0, ascending).
+  static BlockPartition from_offsets(std::vector<index_t> offsets);
+
+  index_t total() const { return total_; }
+  index_t parts() const { return parts_; }
+
+  index_t begin(index_t part) const { return offsets_[static_cast<std::size_t>(part)]; }
+  index_t end(index_t part) const { return offsets_[static_cast<std::size_t>(part) + 1]; }
+  index_t size(index_t part) const { return end(part) - begin(part); }
+
+  /// Which block owns global row g. O(log parts).
+  index_t owner(index_t g) const;
+
+  /// Local index of global row g within its owner block.
+  index_t local(index_t g) const { return g - begin(owner(g)); }
+
+  const std::vector<index_t>& offsets() const { return offsets_; }
+
+ private:
+  index_t total_ = 0;
+  index_t parts_ = 0;
+  std::vector<index_t> offsets_;  // parts+1 entries
+};
+
+}  // namespace dms

@@ -1,0 +1,106 @@
+#include "nn/gemm.hpp"
+
+#include "common/threadpool.hpp"
+
+namespace dms {
+
+DenseF matmul(const DenseF& a, const DenseF& b) {
+  check(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  DenseF c(a.rows(), b.cols());
+  const index_t k = a.cols();
+  const index_t n = b.cols();
+  ThreadPool::global().parallel_for(a.rows(), [&](index_t i) {
+    float* crow = c.row(i);
+    const float* arow = a.row(i);
+    for (index_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(kk);
+      for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  });
+  return c;
+}
+
+DenseF matmul_tn(const DenseF& a, const DenseF& b) {
+  check(a.rows() == b.rows(), "matmul_tn: inner dimension mismatch");
+  DenseF c(a.cols(), b.cols());
+  const index_t m = a.cols();
+  const index_t n = b.cols();
+  // Serial over the contraction dimension (deterministic accumulation),
+  // parallel over output rows.
+  ThreadPool::global().parallel_for(m, [&](index_t i) {
+    float* crow = c.row(i);
+    for (index_t kk = 0; kk < a.rows(); ++kk) {
+      const float av = a(kk, i);
+      if (av == 0.0f) continue;
+      const float* brow = b.row(kk);
+      for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  });
+  return c;
+}
+
+DenseF matmul_nt(const DenseF& a, const DenseF& b) {
+  check(a.cols() == b.cols(), "matmul_nt: inner dimension mismatch");
+  DenseF c(a.rows(), b.rows());
+  const index_t n = b.rows();
+  const index_t k = a.cols();
+  ThreadPool::global().parallel_for(a.rows(), [&](index_t i) {
+    float* crow = c.row(i);
+    const float* arow = a.row(i);
+    for (index_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float s = 0.0f;
+      for (index_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      crow[j] = s;
+    }
+  });
+  return c;
+}
+
+void axpy(DenseF& c, const DenseF& a, float alpha) {
+  check(c.rows() == a.rows() && c.cols() == a.cols(), "axpy: shape mismatch");
+  float* cd = c.data();
+  const float* ad = a.data();
+  for (std::size_t i = 0; i < c.size(); ++i) cd[i] += alpha * ad[i];
+}
+
+void relu_inplace(DenseF& a) {
+  float* d = a.data();
+  for (std::size_t i = 0; i < a.size(); ++i) d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+}
+
+void relu_backward_inplace(DenseF& dy, const DenseF& y) {
+  check(dy.rows() == y.rows() && dy.cols() == y.cols(), "relu_backward: shape mismatch");
+  float* dd = dy.data();
+  const float* yd = y.data();
+  for (std::size_t i = 0; i < dy.size(); ++i) {
+    if (yd[i] <= 0.0f) dd[i] = 0.0f;
+  }
+}
+
+void add_bias_inplace(DenseF& a, const DenseF& bias) {
+  check(bias.rows() == 1 && bias.cols() == a.cols(), "add_bias: shape mismatch");
+  const float* b = bias.row(0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    float* row = a.row(i);
+    for (index_t j = 0; j < a.cols(); ++j) row[j] += b[j];
+  }
+}
+
+DenseF column_sums(const DenseF& a) {
+  DenseF s(1, a.cols());
+  float* sd = s.row(0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const float* row = a.row(i);
+    for (index_t j = 0; j < a.cols(); ++j) sd[j] += row[j];
+  }
+  return s;
+}
+
+double matmul_flops(index_t m, index_t k, index_t n) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(k) * static_cast<double>(n);
+}
+
+}  // namespace dms

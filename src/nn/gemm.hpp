@@ -1,0 +1,36 @@
+// Dense float GEMM kernels for the propagation step (§6.2). Row-parallel
+// straightforward loops — the CPU stand-in for cuBLAS.
+#pragma once
+
+#include "sparse/dense.hpp"
+
+namespace dms {
+
+/// C = A·B, A (m×k), B (k×n).
+DenseF matmul(const DenseF& a, const DenseF& b);
+
+/// C = Aᵀ·B, A (k×m), B (k×n) → (m×n). Used for weight gradients.
+DenseF matmul_tn(const DenseF& a, const DenseF& b);
+
+/// C = A·Bᵀ, A (m×k), B (n×k) → (m×n). Used for input gradients.
+DenseF matmul_nt(const DenseF& a, const DenseF& b);
+
+/// C += alpha * A (same shape).
+void axpy(DenseF& c, const DenseF& a, float alpha);
+
+/// In-place ReLU; returns nothing. Backward masks via the *output*.
+void relu_inplace(DenseF& a);
+
+/// dX = dY ∘ [Y > 0] in place on dy, given the forward output y.
+void relu_backward_inplace(DenseF& dy, const DenseF& y);
+
+/// Adds a row vector bias (1×n) to every row of a (m×n).
+void add_bias_inplace(DenseF& a, const DenseF& bias);
+
+/// Column sums of a (m×n) → (1×n). Bias gradient.
+DenseF column_sums(const DenseF& a);
+
+/// Approximate FLOP count of matmul (2·m·k·n) — simulator accounting.
+double matmul_flops(index_t m, index_t k, index_t n);
+
+}  // namespace dms

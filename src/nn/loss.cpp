@@ -1,0 +1,44 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dms {
+
+LossResult softmax_cross_entropy(const DenseF& logits, const std::vector<int>& labels) {
+  check(static_cast<std::size_t>(logits.rows()) == labels.size(),
+        "softmax_cross_entropy: label count mismatch");
+  const index_t n = logits.rows();
+  const index_t c = logits.cols();
+  LossResult res;
+  res.dlogits = DenseF(n, c);
+  if (n == 0) return res;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (index_t i = 0; i < n; ++i) {
+    const float* row = logits.row(i);
+    const int label = labels[static_cast<std::size_t>(i)];
+    check(label >= 0 && label < c, "softmax_cross_entropy: label out of range");
+    float mx = row[0];
+    index_t arg = 0;
+    for (index_t j = 1; j < c; ++j) {
+      if (row[j] > mx) {
+        mx = row[j];
+        arg = j;
+      }
+    }
+    if (arg == label) ++res.correct;
+    double denom = 0.0;
+    for (index_t j = 0; j < c; ++j) denom += std::exp(static_cast<double>(row[j] - mx));
+    const double logp = static_cast<double>(row[label] - mx) - std::log(denom);
+    res.loss -= logp;
+    float* drow = res.dlogits.row(i);
+    for (index_t j = 0; j < c; ++j) {
+      const auto p = static_cast<float>(std::exp(static_cast<double>(row[j] - mx)) / denom);
+      drow[j] = (p - (j == label ? 1.0f : 0.0f)) * inv_n;
+    }
+  }
+  res.loss /= static_cast<double>(n);
+  return res;
+}
+
+}  // namespace dms

@@ -1,0 +1,19 @@
+// Softmax cross-entropy loss for node classification.
+#pragma once
+
+#include <vector>
+
+#include "sparse/dense.hpp"
+
+namespace dms {
+
+struct LossResult {
+  double loss = 0.0;       ///< mean negative log-likelihood
+  DenseF dlogits;          ///< gradient w.r.t. logits (already divided by N)
+  index_t correct = 0;     ///< argmax == label count
+};
+
+/// logits: (N × C); labels: N class ids in [0, C).
+LossResult softmax_cross_entropy(const DenseF& logits, const std::vector<int>& labels);
+
+}  // namespace dms

@@ -1,0 +1,59 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace dms {
+
+void Sgd::step(const std::vector<ParamGrad>& params) {
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (const auto& pg : params) {
+      velocity_.emplace_back(pg.param->rows(), pg.param->cols());
+    }
+  }
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    DenseF& p = *params[k].param;
+    const DenseF& g = *params[k].grad;
+    DenseF& v = velocity_[k];
+    float* pd = p.data();
+    const float* gd = g.data();
+    float* vd = v.data();
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      vd[i] = momentum_ * vd[i] + gd[i];
+      pd[i] -= lr_ * vd[i];
+    }
+  }
+}
+
+void Adam::step(const std::vector<ParamGrad>& params) {
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    for (const auto& pg : params) {
+      m_.emplace_back(pg.param->rows(), pg.param->cols());
+      v_.emplace_back(pg.param->rows(), pg.param->cols());
+    }
+    t_ = 0;
+  }
+  ++t_;
+  const auto t = static_cast<float>(t_);
+  const float bc1 = 1.0f - std::pow(beta1_, t);
+  const float bc2 = 1.0f - std::pow(beta2_, t);
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    DenseF& p = *params[k].param;
+    const DenseF& g = *params[k].grad;
+    float* pd = p.data();
+    const float* gd = g.data();
+    float* md = m_[k].data();
+    float* vd = v_[k].data();
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      md[i] = beta1_ * md[i] + (1.0f - beta1_) * gd[i];
+      vd[i] = beta2_ * vd[i] + (1.0f - beta2_) * gd[i] * gd[i];
+      const float mhat = md[i] / bc1;
+      const float vhat = vd[i] / bc2;
+      pd[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace dms

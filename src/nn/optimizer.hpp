@@ -1,0 +1,48 @@
+// Optimizers operating on flat lists of (param, grad) tensor pairs.
+#pragma once
+
+#include <vector>
+
+#include "sparse/dense.hpp"
+
+namespace dms {
+
+struct ParamGrad {
+  DenseF* param = nullptr;
+  DenseF* grad = nullptr;
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void step(const std::vector<ParamGrad>& params) = 0;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f) : lr_(lr), momentum_(momentum) {}
+  void step(const std::vector<ParamGrad>& params) override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<DenseF> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) — the optimizer used by the OGB GraphSAGE
+/// reference configurations.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  void step(const std::vector<ParamGrad>& params) override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  int t_ = 0;
+  std::vector<DenseF> m_, v_;
+};
+
+}  // namespace dms

@@ -1,0 +1,37 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dms {
+
+void CooMatrix::sort_and_combine() {
+  const std::size_t n = row_idx.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (row_idx[a] != row_idx[b]) return row_idx[a] < row_idx[b];
+    return col_idx[a] < col_idx[b];
+  });
+
+  std::vector<index_t> r2, c2;
+  std::vector<value_t> v2;
+  r2.reserve(n);
+  c2.reserve(n);
+  v2.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = order[k];
+    if (!r2.empty() && r2.back() == row_idx[i] && c2.back() == col_idx[i]) {
+      v2.back() += vals[i];
+    } else {
+      r2.push_back(row_idx[i]);
+      c2.push_back(col_idx[i]);
+      v2.push_back(vals[i]);
+    }
+  }
+  row_idx = std::move(r2);
+  col_idx = std::move(c2);
+  vals = std::move(v2);
+}
+
+}  // namespace dms

@@ -1,0 +1,40 @@
+// Coordinate-format sparse matrix: the assembly format for generators and
+// for the hypersparse LADIES column-extraction matrices (§8.2.2), which are
+// too row-sparse to store efficiently in CSR.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dms {
+
+struct CooMatrix {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row_idx;
+  std::vector<index_t> col_idx;
+  std::vector<value_t> vals;
+
+  CooMatrix() = default;
+  CooMatrix(index_t r, index_t c) : rows(r), cols(c) {}
+
+  nnz_t nnz() const { return static_cast<nnz_t>(row_idx.size()); }
+
+  void push(index_t r, index_t c, value_t v) {
+    row_idx.push_back(r);
+    col_idx.push_back(c);
+    vals.push_back(v);
+  }
+
+  void reserve(nnz_t n) {
+    row_idx.reserve(static_cast<std::size_t>(n));
+    col_idx.reserve(static_cast<std::size_t>(n));
+    vals.reserve(static_cast<std::size_t>(n));
+  }
+
+  /// Sorts triplets by (row, col) and sums duplicates in place.
+  void sort_and_combine();
+};
+
+}  // namespace dms

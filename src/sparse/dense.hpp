@@ -1,0 +1,77 @@
+// Row-major dense matrix, templated on scalar. double for linear-algebra
+// reference paths, float for feature/embedding matrices (fp32 per §7.1).
+#pragma once
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dms {
+
+template <typename T>
+class Dense {
+ public:
+  Dense() = default;
+  Dense(index_t rows, index_t cols, T fill = T{0})
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), fill) {
+    check(rows >= 0 && cols >= 0, "Dense: negative dimensions");
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T* row(index_t r) { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+  const T* row(index_t r) const {
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+
+  T& operator()(index_t r, index_t c) {
+    return data_[static_cast<std::size_t>(r) * cols_ + static_cast<std::size_t>(c)];
+  }
+  T operator()(index_t r, index_t c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + static_cast<std::size_t>(c)];
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+  void zero() { fill(T{0}); }
+
+  /// Frobenius norm.
+  double norm() const {
+    double s = 0;
+    for (const T v : data_) s += static_cast<double>(v) * static_cast<double>(v);
+    return std::sqrt(s);
+  }
+
+  /// Max absolute elementwise difference; matrices must be the same shape.
+  static double max_abs_diff(const Dense& a, const Dense& b) {
+    check(a.rows_ == b.rows_ && a.cols_ == b.cols_, "max_abs_diff: shape mismatch");
+    double m = 0;
+    for (std::size_t i = 0; i < a.data_.size(); ++i) {
+      m = std::max(m, std::abs(static_cast<double>(a.data_[i]) -
+                               static_cast<double>(b.data_[i])));
+    }
+    return m;
+  }
+
+  std::size_t bytes() const { return data_.size() * sizeof(T); }
+
+  bool operator==(const Dense& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using DenseD = Dense<double>;
+using DenseF = Dense<float>;
+
+}  // namespace dms

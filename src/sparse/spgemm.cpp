@@ -1,0 +1,133 @@
+#include "sparse/spgemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/threadpool.hpp"
+
+namespace dms {
+
+namespace {
+
+/// Dense accumulator with generation marking: O(1) reset between rows.
+struct Accumulator {
+  explicit Accumulator(index_t cols)
+      : mark(static_cast<std::size_t>(cols), -1),
+        acc(static_cast<std::size_t>(cols), 0.0) {}
+
+  std::vector<index_t> mark;  // last row id that touched this column
+  std::vector<value_t> acc;
+  std::vector<index_t> touched;  // columns touched by the current row
+};
+
+/// Computes one output row of C = A*B into the accumulator, returning the
+/// sorted column list in ws.touched.
+void compute_row(const CsrMatrix& a, const CsrMatrix& b, index_t row,
+                 Accumulator& ws) {
+  ws.touched.clear();
+  const auto acols = a.row_cols(row);
+  const auto avals = a.row_vals(row);
+  for (std::size_t i = 0; i < acols.size(); ++i) {
+    const index_t k = acols[i];
+    const value_t av = avals[i];
+    const auto bcols = b.row_cols(k);
+    const auto bvals = b.row_vals(k);
+    for (std::size_t j = 0; j < bcols.size(); ++j) {
+      const index_t c = bcols[j];
+      if (ws.mark[static_cast<std::size_t>(c)] != row) {
+        ws.mark[static_cast<std::size_t>(c)] = row;
+        ws.acc[static_cast<std::size_t>(c)] = av * bvals[j];
+        ws.touched.push_back(c);
+      } else {
+        ws.acc[static_cast<std::size_t>(c)] += av * bvals[j];
+      }
+    }
+  }
+  std::sort(ws.touched.begin(), ws.touched.end());
+}
+
+}  // namespace
+
+CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b, const SpgemmOptions& opts) {
+  check(a.cols() == b.rows(), "spgemm: inner dimension mismatch");
+  const index_t m = a.rows();
+  const index_t n = b.cols();
+
+  // Choose a block decomposition; each block owns a contiguous row range and
+  // a private accumulator, then results are stitched together.
+  const int pool_threads = opts.parallel ? ThreadPool::global().size() : 1;
+  const index_t nblocks = std::max<index_t>(
+      1, std::min<index_t>(m, opts.parallel ? pool_threads : 1));
+  const index_t rows_per_block = ceil_div(m, nblocks);
+
+  struct BlockOut {
+    std::vector<nnz_t> row_nnz;
+    std::vector<index_t> colidx;
+    std::vector<value_t> vals;
+  };
+  std::vector<BlockOut> blocks(static_cast<std::size_t>(nblocks));
+
+  auto body = [&](index_t blk) {
+    const index_t r0 = blk * rows_per_block;
+    const index_t r1 = std::min<index_t>(m, r0 + rows_per_block);
+    if (r0 >= r1) return;
+    Accumulator ws(n);
+    BlockOut& out = blocks[static_cast<std::size_t>(blk)];
+    out.row_nnz.assign(static_cast<std::size_t>(r1 - r0), 0);
+    for (index_t r = r0; r < r1; ++r) {
+      compute_row(a, b, r, ws);
+      out.row_nnz[static_cast<std::size_t>(r - r0)] =
+          static_cast<nnz_t>(ws.touched.size());
+      for (const index_t c : ws.touched) {
+        out.colidx.push_back(c);
+        out.vals.push_back(ws.acc[static_cast<std::size_t>(c)]);
+      }
+    }
+  };
+
+  if (nblocks == 1) {
+    body(0);
+  } else {
+    ThreadPool::global().parallel_for(nblocks, body);
+  }
+
+  // Stitch blocks into one CSR.
+  std::vector<nnz_t> rowptr(static_cast<std::size_t>(m) + 1, 0);
+  nnz_t total = 0;
+  for (index_t blk = 0; blk < nblocks; ++blk) {
+    const index_t r0 = blk * rows_per_block;
+    const auto& out = blocks[static_cast<std::size_t>(blk)];
+    for (std::size_t i = 0; i < out.row_nnz.size(); ++i) {
+      rowptr[static_cast<std::size_t>(r0) + i + 1] = out.row_nnz[i];
+    }
+    total += static_cast<nnz_t>(out.colidx.size());
+  }
+  for (index_t r = 0; r < m; ++r) {
+    rowptr[static_cast<std::size_t>(r) + 1] += rowptr[static_cast<std::size_t>(r)];
+  }
+
+  std::vector<index_t> colidx(static_cast<std::size_t>(total));
+  std::vector<value_t> vals(static_cast<std::size_t>(total));
+  nnz_t cursor = 0;
+  for (index_t blk = 0; blk < nblocks; ++blk) {
+    const auto& out = blocks[static_cast<std::size_t>(blk)];
+    std::copy(out.colidx.begin(), out.colidx.end(),
+              colidx.begin() + static_cast<std::ptrdiff_t>(cursor));
+    std::copy(out.vals.begin(), out.vals.end(),
+              vals.begin() + static_cast<std::ptrdiff_t>(cursor));
+    cursor += static_cast<nnz_t>(out.colidx.size());
+  }
+
+  return CsrMatrix(m, n, std::move(rowptr), std::move(colidx), std::move(vals));
+}
+
+nnz_t spgemm_flops(const CsrMatrix& a, const CsrMatrix& b) {
+  check(a.cols() == b.rows(), "spgemm_flops: inner dimension mismatch");
+  nnz_t flops = 0;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (const index_t k : a.row_cols(r)) flops += b.row_nnz(k);
+  }
+  return flops;
+}
+
+}  // namespace dms

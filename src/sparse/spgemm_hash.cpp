@@ -1,0 +1,152 @@
+#include "sparse/spgemm_hash.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "common/threadpool.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace dms {
+
+namespace {
+
+/// Open-addressing accumulator for one output row.
+class HashRow {
+ public:
+  void reset(std::size_t upper_bound_fill) {
+    // Load factor 1/2, minimum 8 slots.
+    std::size_t want = std::max<std::size_t>(8, std::bit_ceil(2 * upper_bound_fill + 1));
+    if (want > keys_.size()) {
+      keys_.assign(want, kEmpty);
+      vals_.assign(want, 0.0);
+    } else {
+      for (const index_t k : used_) {
+        keys_[static_cast<std::size_t>(k)] = kEmpty;
+      }
+      want = keys_.size();
+    }
+    mask_ = want - 1;
+    used_.clear();
+  }
+
+  void add(index_t col, value_t v) {
+    std::size_t slot = (static_cast<std::size_t>(col) * 0x9e3779b97f4a7c15ULL) & mask_;
+    while (true) {
+      if (keys_[slot] == kEmpty) {
+        keys_[slot] = col;
+        vals_[slot] = v;
+        used_.push_back(static_cast<index_t>(slot));
+        return;
+      }
+      if (keys_[slot] == col) {
+        vals_[slot] += v;
+        return;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Emits (col, val) pairs sorted by column id.
+  void emit(std::vector<index_t>* cols, std::vector<value_t>* vals) {
+    std::sort(used_.begin(), used_.end(), [&](index_t a, index_t b) {
+      return keys_[static_cast<std::size_t>(a)] < keys_[static_cast<std::size_t>(b)];
+    });
+    for (const index_t slot : used_) {
+      cols->push_back(keys_[static_cast<std::size_t>(slot)]);
+      vals->push_back(vals_[static_cast<std::size_t>(slot)]);
+    }
+  }
+
+  std::size_t fill() const { return used_.size(); }
+
+ private:
+  static constexpr index_t kEmpty = -1;
+  std::vector<index_t> keys_;
+  std::vector<value_t> vals_;
+  std::vector<index_t> used_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace
+
+CsrMatrix spgemm_hash(const CsrMatrix& a, const CsrMatrix& b) {
+  check(a.cols() == b.rows(), "spgemm_hash: inner dimension mismatch");
+  const index_t m = a.rows();
+
+  const int nblocks = std::max(1, std::min<int>(static_cast<int>(m),
+                                                ThreadPool::global().size()));
+  const index_t rows_per_block = ceil_div(m, nblocks);
+
+  struct BlockOut {
+    std::vector<nnz_t> row_nnz;
+    std::vector<index_t> colidx;
+    std::vector<value_t> vals;
+  };
+  std::vector<BlockOut> blocks(static_cast<std::size_t>(nblocks));
+
+  ThreadPool::global().parallel_for(nblocks, [&](index_t blk) {
+    const index_t r0 = blk * rows_per_block;
+    const index_t r1 = std::min<index_t>(m, r0 + rows_per_block);
+    if (r0 >= r1) return;
+    HashRow acc;
+    BlockOut& out = blocks[static_cast<std::size_t>(blk)];
+    out.row_nnz.assign(static_cast<std::size_t>(r1 - r0), 0);
+    for (index_t r = r0; r < r1; ++r) {
+      // Upper bound on the row's fill: sum of B-row lengths it touches.
+      std::size_t bound = 0;
+      for (const index_t k : a.row_cols(r)) {
+        bound += static_cast<std::size_t>(b.row_nnz(k));
+      }
+      acc.reset(bound);
+      const auto acols = a.row_cols(r);
+      const auto avals = a.row_vals(r);
+      for (std::size_t i = 0; i < acols.size(); ++i) {
+        const index_t k = acols[i];
+        const value_t av = avals[i];
+        const auto bcols = b.row_cols(k);
+        const auto bvals = b.row_vals(k);
+        for (std::size_t j = 0; j < bcols.size(); ++j) {
+          acc.add(bcols[j], av * bvals[j]);
+        }
+      }
+      out.row_nnz[static_cast<std::size_t>(r - r0)] = static_cast<nnz_t>(acc.fill());
+      acc.emit(&out.colidx, &out.vals);
+    }
+  });
+
+  std::vector<nnz_t> rowptr(static_cast<std::size_t>(m) + 1, 0);
+  nnz_t total = 0;
+  for (int blk = 0; blk < nblocks; ++blk) {
+    const index_t r0 = blk * rows_per_block;
+    const auto& out = blocks[static_cast<std::size_t>(blk)];
+    for (std::size_t i = 0; i < out.row_nnz.size(); ++i) {
+      rowptr[static_cast<std::size_t>(r0) + i + 1] = out.row_nnz[i];
+    }
+    total += static_cast<nnz_t>(out.colidx.size());
+  }
+  for (index_t r = 0; r < m; ++r) {
+    rowptr[static_cast<std::size_t>(r) + 1] += rowptr[static_cast<std::size_t>(r)];
+  }
+  std::vector<index_t> colidx;
+  std::vector<value_t> vals;
+  colidx.reserve(static_cast<std::size_t>(total));
+  vals.reserve(static_cast<std::size_t>(total));
+  for (const auto& out : blocks) {
+    colidx.insert(colidx.end(), out.colidx.begin(), out.colidx.end());
+    vals.insert(vals.end(), out.vals.begin(), out.vals.end());
+  }
+  return CsrMatrix(m, b.cols(), std::move(rowptr), std::move(colidx), std::move(vals));
+}
+
+CsrMatrix spgemm_with(SpgemmAlgorithm algo, const CsrMatrix& a, const CsrMatrix& b) {
+  switch (algo) {
+    case SpgemmAlgorithm::kDenseAccumulator:
+      return spgemm(a, b);
+    case SpgemmAlgorithm::kHash:
+      return spgemm_hash(a, b);
+  }
+  throw DmsError("spgemm_with: unknown algorithm");
+}
+
+}  // namespace dms

@@ -1,0 +1,25 @@
+// Hash-accumulator SpGEMM (nsparse-style).
+//
+// The dense generation-marked accumulator of spgemm.cpp allocates O(cols)
+// per worker — fine on a host CPU, wasteful when the output row count is
+// tiny relative to the column dimension (exactly the Qˡ·A products of the
+// sampling pipeline, where rows ≪ n). This variant uses per-row open
+// addressing sized to the row's upper-bound fill, mirroring the hash
+// kernels of nsparse/cuSPARSE that the paper builds on (§7.3).
+//
+// Semantically identical to spgemm(); selected via SpgemmAlgorithm.
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace dms {
+
+/// C = A·B using per-row hash accumulation. Output rows sorted.
+CsrMatrix spgemm_hash(const CsrMatrix& a, const CsrMatrix& b);
+
+enum class SpgemmAlgorithm { kDenseAccumulator, kHash };
+
+/// Dispatch helper used by benches/ablations to compare kernels.
+CsrMatrix spgemm_with(SpgemmAlgorithm algo, const CsrMatrix& a, const CsrMatrix& b);
+
+}  // namespace dms

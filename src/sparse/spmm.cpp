@@ -1,0 +1,49 @@
+#include "sparse/spmm.hpp"
+
+#include "common/threadpool.hpp"
+
+namespace dms {
+
+template <typename T>
+Dense<T> spmm(const CsrMatrix& a, const Dense<T>& b) {
+  check(a.cols() == b.rows(), "spmm: inner dimension mismatch");
+  const index_t f = b.cols();
+  Dense<T> c(a.rows(), f);
+  ThreadPool::global().parallel_for(a.rows(), [&](index_t r) {
+    T* crow = c.row(r);
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const T* brow = b.row(cols[i]);
+      const T av = static_cast<T>(vals[i]);
+      for (index_t j = 0; j < f; ++j) crow[j] += av * brow[j];
+    }
+  });
+  return c;
+}
+
+template <typename T>
+Dense<T> spmm_transposed(const CsrMatrix& a, const Dense<T>& b) {
+  check(a.rows() == b.rows(), "spmm_transposed: inner dimension mismatch");
+  const index_t f = b.cols();
+  // Scatter pattern: serial over rows of A to stay deterministic and safe.
+  Dense<T> c(a.cols(), f);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    const T* brow = b.row(r);
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      T* crow = c.row(cols[i]);
+      const T av = static_cast<T>(vals[i]);
+      for (index_t j = 0; j < f; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+template Dense<float> spmm(const CsrMatrix&, const Dense<float>&);
+template Dense<double> spmm(const CsrMatrix&, const Dense<double>&);
+template Dense<float> spmm_transposed(const CsrMatrix&, const Dense<float>&);
+template Dense<double> spmm_transposed(const CsrMatrix&, const Dense<double>&);
+
+}  // namespace dms

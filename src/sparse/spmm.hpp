@@ -1,0 +1,23 @@
+// Sparse × dense multiplication (SpMM) — the neighborhood-aggregation kernel
+// of forward/backward propagation (§6.2: H_out = A_s · H_in).
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+
+namespace dms {
+
+/// C = A * B with A sparse (m × k) and B dense (k × f). Row-parallel.
+template <typename T>
+Dense<T> spmm(const CsrMatrix& a, const Dense<T>& b);
+
+/// C = Aᵀ * B without materializing Aᵀ (used by the backward pass).
+template <typename T>
+Dense<T> spmm_transposed(const CsrMatrix& a, const Dense<T>& b);
+
+extern template Dense<float> spmm(const CsrMatrix&, const Dense<float>&);
+extern template Dense<double> spmm(const CsrMatrix&, const Dense<double>&);
+extern template Dense<float> spmm_transposed(const CsrMatrix&, const Dense<float>&);
+extern template Dense<double> spmm_transposed(const CsrMatrix&, const Dense<double>&);
+
+}  // namespace dms

@@ -1,0 +1,77 @@
+#include "train/feature_store.hpp"
+
+#include <algorithm>
+
+#include "common/timer.hpp"
+
+namespace dms {
+
+FeatureStore::FeatureStore(const ProcessGrid& grid, const DenseF& features)
+    : part_(features.rows(), grid.rows()), dim_(features.cols()), features_(&features) {}
+
+std::size_t FeatureStore::block_bytes(index_t i) const {
+  return static_cast<std::size_t>(part_.size(i)) * static_cast<std::size_t>(dim_) *
+         sizeof(float);
+}
+
+std::vector<DenseF> FeatureStore::fetch_all(
+    Cluster& cluster, const std::vector<std::vector<index_t>>& wanted,
+    const std::string& phase) const {
+  const ProcessGrid& grid = cluster.grid();
+  check(static_cast<int>(wanted.size()) == grid.size(),
+        "FeatureStore::fetch_all: need one request list per rank");
+  const CostModel& model = cluster.cost_model();
+  const std::size_t row_bytes = static_cast<std::size_t>(dim_) * sizeof(float);
+
+  std::vector<DenseF> out(wanted.size());
+  double max_gather = 0.0;
+  double worst_column_comm = 0.0;
+  std::size_t total_bytes = 0;
+  std::size_t total_msgs = 0;
+
+  // The all-to-allv is column-local: ranks in column j exchange rows among
+  // themselves (each column holds all of H).
+  for (int j = 0; j < grid.replication(); ++j) {
+    const std::vector<int> col = grid.col_ranks(j);
+    const auto nranks = col.size();
+    std::vector<std::vector<std::size_t>> send_bytes(
+        nranks, std::vector<std::size_t>(nranks, 0));
+
+    for (std::size_t ii = 0; ii < nranks; ++ii) {
+      const int rank = col[ii];
+      const int my_row = grid.row_of(rank);
+      Timer t;
+      const auto& req = wanted[static_cast<std::size_t>(rank)];
+      DenseF gathered(static_cast<index_t>(req.size()), dim_);
+      for (std::size_t q = 0; q < req.size(); ++q) {
+        const index_t v = req[q];
+        std::copy(features_->row(v), features_->row(v) + dim_,
+                  gathered.row(static_cast<index_t>(q)));
+        const index_t owner_row = part_.owner(v);
+        if (owner_row != my_row) {
+          // Row shipped from (owner_row, j) to (my_row, j).
+          send_bytes[static_cast<std::size_t>(owner_row)][ii] += row_bytes;
+        }
+      }
+      out[static_cast<std::size_t>(rank)] = std::move(gathered);
+      max_gather = std::max(max_gather, t.seconds());
+    }
+
+    const double t_col = model.alltoallv(col, send_bytes);
+    worst_column_comm = std::max(worst_column_comm, t_col);
+    for (const auto& rowvec : send_bytes) {
+      for (const std::size_t b : rowvec) {
+        if (b > 0) {
+          total_bytes += b;
+          ++total_msgs;
+        }
+      }
+    }
+  }
+
+  cluster.add_compute(phase, max_gather);
+  cluster.record_comm(phase, worst_column_comm, total_bytes, total_msgs);
+  return out;
+}
+
+}  // namespace dms

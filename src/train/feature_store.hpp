@@ -1,0 +1,44 @@
+// 1.5D-partitioned feature matrix H with all-to-allv fetching (§6.2).
+//
+// H is split into p/c block rows; block i is replicated on process row
+// P(i,:). Each process column P(:,j) holds the entire H, so a rank only
+// exchanges feature rows within its own column — which is why fetch time
+// scales with the replication factor c (§8.1.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "graph/partition.hpp"
+#include "sparse/dense.hpp"
+
+namespace dms {
+
+class FeatureStore {
+ public:
+  /// Partitions `features` (n × f) over grid.rows() block rows.
+  FeatureStore(const ProcessGrid& grid, const DenseF& features);
+
+  index_t num_rows() const { return part_.total(); }
+  index_t dim() const { return dim_; }
+  const BlockPartition& partition() const { return part_; }
+
+  /// Bytes a rank in process row i stores.
+  std::size_t block_bytes(index_t i) const;
+
+  /// Collective fetch: wanted[r] lists the global vertex ids rank r needs
+  /// this training step. Performs the per-column all-to-allv (modeled cost,
+  /// real data movement) and returns one gathered (|wanted[r]| × f) matrix
+  /// per rank. Records comm + gather compute under `phase`.
+  std::vector<DenseF> fetch_all(Cluster& cluster,
+                                const std::vector<std::vector<index_t>>& wanted,
+                                const std::string& phase = "fetch") const;
+
+ private:
+  BlockPartition part_;
+  index_t dim_ = 0;
+  const DenseF* features_;  ///< borrowed; simulator reads rows directly
+};
+
+}  // namespace dms

@@ -1,0 +1,275 @@
+#include "train/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/fastgcn.hpp"
+#include "core/graphsage.hpp"
+#include "core/ladies.hpp"
+#include "core/minibatch.hpp"
+#include "graph/partition.hpp"
+
+namespace dms {
+
+namespace {
+
+/// Kernel launches per layer of the bulk sampling pass (SpGEMM, prefix sum,
+/// sample, extract) — the per-call overhead that bulk sampling amortizes.
+constexpr double kKernelsPerLayer = 4.0;
+
+ModelConfig make_model_config(const Dataset& ds, const PipelineConfig& cfg) {
+  ModelConfig mc;
+  mc.in_dim = ds.feature_dim();
+  mc.hidden = cfg.hidden;
+  mc.num_classes = ds.num_classes;
+  mc.num_layers = static_cast<index_t>(cfg.fanouts.size());
+  mc.seed = derive_seed(cfg.seed, 0x0de1ULL);
+  return mc;
+}
+
+}  // namespace
+
+Pipeline::Pipeline(Cluster& cluster, const Dataset& dataset, PipelineConfig config)
+    : cluster_(cluster),
+      ds_(dataset),
+      cfg_(std::move(config)),
+      features_(cluster.grid(), dataset.features),
+      model_(make_model_config(dataset, cfg_)) {
+  check(!cfg_.fanouts.empty(), "Pipeline: fanouts must be non-empty");
+  const SamplerConfig sc{cfg_.fanouts, cfg_.seed};
+  if (cfg_.mode == DistMode::kReplicated) {
+    switch (cfg_.sampler) {
+      case SamplerKind::kGraphSage:
+        local_sampler_ = std::make_unique<GraphSageSampler>(ds_.graph, sc);
+        break;
+      case SamplerKind::kLadies:
+        local_sampler_ = std::make_unique<LadiesSampler>(ds_.graph, sc);
+        break;
+      case SamplerKind::kFastGcn:
+        local_sampler_ = std::make_unique<FastGcnSampler>(ds_.graph, sc);
+        break;
+    }
+  } else {
+    switch (cfg_.sampler) {
+      case SamplerKind::kGraphSage:
+        part_sage_ = std::make_unique<PartitionedSageSampler>(
+            ds_.graph, cluster_.grid(), sc, cfg_.part_opts);
+        break;
+      case SamplerKind::kLadies:
+        part_ladies_ = std::make_unique<PartitionedLadiesSampler>(
+            ds_.graph, cluster_.grid(), sc, cfg_.part_opts);
+        break;
+      case SamplerKind::kFastGcn:
+        throw DmsError("Pipeline: partitioned FastGCN not implemented");
+    }
+  }
+  optimizer_ = cfg_.use_adam
+                   ? std::unique_ptr<Optimizer>(std::make_unique<Adam>(cfg_.lr))
+                   : std::unique_ptr<Optimizer>(std::make_unique<Sgd>(cfg_.lr, 0.9f));
+}
+
+std::vector<std::vector<MinibatchSample>> Pipeline::sample_epoch(
+    const std::vector<std::vector<index_t>>& batches, std::uint64_t epoch_seed) {
+  const int p = cluster_.size();
+  const auto k_total = static_cast<index_t>(batches.size());
+  std::vector<std::vector<MinibatchSample>> per_rank(static_cast<std::size_t>(p));
+  const double launch = cluster_.cost_model().link().launch_overhead;
+  const auto num_layers = static_cast<double>(cfg_.fanouts.size());
+
+  if (cfg_.mode == DistMode::kReplicated) {
+    // §5.1/§6.1: each rank samples k/p minibatches with zero communication,
+    // in bulk rounds of (bulk_k / p) minibatches.
+    const BlockPartition assign(k_total, p);
+    const index_t bulk_per_rank =
+        cfg_.bulk_k <= 0 ? k_total : std::max<index_t>(1, ceil_div(cfg_.bulk_k, p));
+    double max_t = 0.0;
+    index_t max_rounds = 0;
+    for (int r = 0; r < p; ++r) {
+      Timer t;
+      index_t rounds = 0;
+      for (index_t b0 = assign.begin(r); b0 < assign.end(r); b0 += bulk_per_rank) {
+        const index_t b1 = std::min<index_t>(assign.end(r), b0 + bulk_per_rank);
+        std::vector<std::vector<index_t>> chunk(batches.begin() + b0,
+                                                batches.begin() + b1);
+        std::vector<index_t> ids(static_cast<std::size_t>(b1 - b0));
+        for (index_t b = b0; b < b1; ++b) ids[static_cast<std::size_t>(b - b0)] = b;
+        auto samples = local_sampler_->sample_bulk(chunk, ids, epoch_seed);
+        for (auto& s : samples) per_rank[static_cast<std::size_t>(r)].push_back(std::move(s));
+        ++rounds;
+      }
+      max_t = std::max(max_t, t.seconds());
+      max_rounds = std::max(max_rounds, rounds);
+    }
+    cluster_.add_compute("sampling", max_t);
+    // Bulk sampling launches O(L) kernels per *round*, not per minibatch —
+    // the amortization of §4.
+    cluster_.add_overhead("sampling", launch * kKernelsPerLayer * num_layers *
+                                          static_cast<double>(max_rounds));
+    return per_rank;
+  }
+
+  // Graph Partitioned: batches are owned by process rows; each row's c
+  // replicas split its minibatches for training.
+  std::vector<index_t> ids(static_cast<std::size_t>(k_total));
+  for (index_t b = 0; b < k_total; ++b) ids[static_cast<std::size_t>(b)] = b;
+  std::vector<std::vector<MinibatchSample>> per_row;
+  if (part_sage_ != nullptr) {
+    per_row = part_sage_->sample_bulk(cluster_, batches, ids, epoch_seed);
+  } else {
+    per_row = part_ladies_->sample_bulk(cluster_, batches, ids, epoch_seed);
+  }
+  cluster_.add_overhead(kPhaseSampling,
+                        launch * kKernelsPerLayer * num_layers);
+  const ProcessGrid& grid = cluster_.grid();
+  for (int i = 0; i < grid.rows(); ++i) {
+    auto& row_samples = per_row[static_cast<std::size_t>(i)];
+    for (std::size_t b = 0; b < row_samples.size(); ++b) {
+      const int j = static_cast<int>(b) % grid.replication();
+      per_rank[static_cast<std::size_t>(grid.rank_of(i, j))].push_back(
+          std::move(row_samples[b]));
+    }
+  }
+  return per_rank;
+}
+
+EpochStats Pipeline::run_epoch(int epoch) {
+  cluster_.reset_clock();
+  const std::uint64_t epoch_seed = derive_seed(cfg_.seed, 0xe90c, static_cast<std::uint64_t>(epoch));
+  const auto batches = make_epoch_batches(ds_.train_idx, cfg_.batch_size, epoch_seed);
+
+  auto per_rank = sample_epoch(batches, epoch_seed);
+
+  const int p = cluster_.size();
+  std::size_t steps = 0;
+  for (const auto& q : per_rank) steps = std::max(steps, q.size());
+
+  double loss_sum = 0.0;
+  index_t correct = 0, seen = 0;
+  const std::size_t param_bytes = model_.param_bytes();
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    // --- Feature fetching: all-to-allv across process columns (§6.2). ---
+    std::vector<std::vector<index_t>> wanted(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      if (t < per_rank[static_cast<std::size_t>(r)].size()) {
+        wanted[static_cast<std::size_t>(r)] =
+            per_rank[static_cast<std::size_t>(r)][t].input_vertices();
+      }
+    }
+    auto gathered = features_.fetch_all(cluster_, wanted, "fetch");
+
+    // --- Propagation: fwd/bwd per rank, then gradient all-reduce. ---
+    double max_prop = 0.0;
+    int active = 0;
+    for (int r = 0; r < p; ++r) {
+      if (t >= per_rank[static_cast<std::size_t>(r)].size()) continue;
+      const MinibatchSample& sample = per_rank[static_cast<std::size_t>(r)][t];
+      std::vector<int> labels(sample.batch_vertices.size());
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        labels[i] = ds_.labels[static_cast<std::size_t>(sample.batch_vertices[i])];
+      }
+      Timer timer;
+      const LossResult res =
+          model_.train_step(sample, gathered[static_cast<std::size_t>(r)], labels);
+      max_prop = std::max(max_prop, timer.seconds());
+      loss_sum += res.loss * static_cast<double>(labels.size());
+      correct += res.correct;
+      seen += static_cast<index_t>(labels.size());
+      ++active;
+    }
+    if (active > 0) {
+      // Shared-model gradient accumulation across ranks == all-reduce sum;
+      // average and step once (identical to synchronous DDP).
+      Timer timer;
+      model_.scale_grads(1.0f / static_cast<float>(active));
+      optimizer_->step(model_.params());
+      model_.zero_grads();
+      cluster_.add_compute("propagation", max_prop + timer.seconds());
+      if (p > 1) {
+        cluster_.record_comm(
+            "propagation",
+            cluster_.cost_model().allreduce(cluster_.grid().all_ranks(), param_bytes),
+            param_bytes * static_cast<std::size_t>(p), static_cast<std::size_t>(2 * (p - 1)));
+      }
+    }
+  }
+
+  EpochStats stats;
+  stats.sampling = cluster_.phase_time("sampling") +
+                   cluster_.phase_time(kPhaseProbability) +
+                   cluster_.phase_time(kPhaseExtraction);
+  stats.fetch = cluster_.phase_time("fetch");
+  stats.propagation = cluster_.phase_time("propagation");
+  stats.total = cluster_.total_time();
+  stats.loss = seen > 0 ? loss_sum / static_cast<double>(seen) : 0.0;
+  stats.train_acc = seen > 0 ? static_cast<double>(correct) / static_cast<double>(seen) : 0.0;
+  stats.compute_phases = cluster_.compute_time();
+  for (const auto& [phase, s] : cluster_.comm_stats()) {
+    stats.comm_phases[phase] = s.seconds;
+  }
+  return stats;
+}
+
+double Pipeline::evaluate(const std::vector<index_t>& idx,
+                          const std::vector<index_t>& eval_fanouts,
+                          index_t eval_batch_size) {
+  check(eval_fanouts.size() == cfg_.fanouts.size(),
+        "evaluate: eval fanout depth must match the model");
+  const SamplerConfig sc{eval_fanouts, derive_seed(cfg_.seed, 0xe1a1)};
+  std::unique_ptr<MatrixSampler> sampler;
+  switch (cfg_.sampler) {
+    case SamplerKind::kGraphSage:
+      sampler = std::make_unique<GraphSageSampler>(ds_.graph, sc);
+      break;
+    case SamplerKind::kLadies:
+      sampler = std::make_unique<LadiesSampler>(ds_.graph, sc);
+      break;
+    case SamplerKind::kFastGcn:
+      sampler = std::make_unique<FastGcnSampler>(ds_.graph, sc);
+      break;
+  }
+  index_t correct = 0;
+  const auto total = static_cast<index_t>(idx.size());
+  index_t batch_id = 0;
+  for (index_t start = 0; start < total; start += eval_batch_size, ++batch_id) {
+    const index_t stop = std::min<index_t>(total, start + eval_batch_size);
+    std::vector<index_t> batch(idx.begin() + start, idx.begin() + stop);
+    const MinibatchSample sample = sampler->sample_one(batch, batch_id, 0xfeed);
+    const auto& input = sample.input_vertices();
+    DenseF h(static_cast<index_t>(input.size()), ds_.feature_dim());
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      std::copy(ds_.features.row(input[i]), ds_.features.row(input[i]) + ds_.feature_dim(),
+                h.row(static_cast<index_t>(i)));
+    }
+    const DenseF logits = model_.forward(sample, h, nullptr);
+    for (index_t i = 0; i < logits.rows(); ++i) {
+      const float* row = logits.row(i);
+      index_t arg = 0;
+      for (index_t j = 1; j < logits.cols(); ++j) {
+        if (row[j] > row[arg]) arg = j;
+      }
+      if (static_cast<int>(arg) ==
+          ds_.labels[static_cast<std::size_t>(batch[static_cast<std::size_t>(i)])]) {
+        ++correct;
+      }
+    }
+  }
+  return total > 0 ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+}
+
+std::size_t Pipeline::per_rank_bytes(int rank) const {
+  const ProcessGrid& grid = cluster_.grid();
+  std::size_t bytes = model_.param_bytes();
+  bytes += features_.block_bytes(grid.row_of(rank));
+  if (cfg_.mode == DistMode::kReplicated) {
+    bytes += ds_.graph.adjacency().bytes();
+  } else if (part_sage_ != nullptr) {
+    bytes += part_sage_->dist_adjacency().block_bytes(grid.row_of(rank));
+  } else if (part_ladies_ != nullptr) {
+    bytes += part_ladies_->dist_adjacency().block_bytes(grid.row_of(rank));
+  }
+  return bytes;
+}
+
+}  // namespace dms

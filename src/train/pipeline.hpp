@@ -1,0 +1,95 @@
+// End-to-end distributed training pipeline (Figure 3, §6):
+//   (1) bulk-sample k minibatches (Graph Replicated §5.1 or Graph
+//       Partitioned §5.2),
+//   (2) per training step, all-to-allv feature fetching across process
+//       columns of the 1.5D feature store,
+//   (3) forward/backward propagation + data-parallel gradient all-reduce,
+// repeated bulk-synchronously until every minibatch of the epoch is trained.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "core/sampler.hpp"
+#include "dist/dist_sampler.hpp"
+#include "graph/dataset.hpp"
+#include "nn/model.hpp"
+#include "train/feature_store.hpp"
+
+namespace dms {
+
+enum class SamplerKind { kGraphSage, kLadies, kFastGcn };
+enum class DistMode { kReplicated, kPartitioned };
+
+struct PipelineConfig {
+  SamplerKind sampler = SamplerKind::kGraphSage;
+  DistMode mode = DistMode::kReplicated;
+  index_t batch_size = 64;
+  /// Per-layer sample counts in sampling order (layer L first). Table 4:
+  /// SAGE fanout (15,10,5); LADIES s=512 with one layer.
+  std::vector<index_t> fanouts = {10, 5, 5};
+  /// Total minibatches sampled per bulk round across all ranks
+  /// (the paper's k). 0 = all minibatches of the epoch at once ("k=all").
+  index_t bulk_k = 0;
+  index_t hidden = 32;
+  float lr = 1e-2f;
+  bool use_adam = true;
+  std::uint64_t seed = 7;
+  PartitionedSamplerOptions part_opts;
+};
+
+struct EpochStats {
+  double sampling = 0.0;      ///< simulated seconds in the sampling step
+  double fetch = 0.0;         ///< feature-fetch all-to-allv
+  double propagation = 0.0;   ///< fwd/bwd + gradient all-reduce
+  double total = 0.0;
+  double loss = 0.0;
+  double train_acc = 0.0;
+  std::map<std::string, double> compute_phases;  ///< full breakdown
+  std::map<std::string, double> comm_phases;
+};
+
+class Pipeline {
+ public:
+  /// The cluster, dataset outlive the pipeline. The model dimension chain is
+  /// ds.feature_dim → hidden^(L-1) → ds.num_classes with L = fanouts.size().
+  Pipeline(Cluster& cluster, const Dataset& dataset, PipelineConfig config);
+
+  /// Trains one full epoch (all minibatches); returns the simulated-time
+  /// breakdown plus training loss/accuracy. Resets the cluster clock first.
+  EpochStats run_epoch(int epoch);
+
+  /// Single-node accuracy evaluation with the given evaluation fanouts
+  /// (paper §8.1.3 uses test fanout (20,20,20)).
+  double evaluate(const std::vector<index_t>& idx,
+                  const std::vector<index_t>& eval_fanouts,
+                  index_t eval_batch_size = 512);
+
+  SageModel& model() { return model_; }
+  const FeatureStore& features() const { return features_; }
+
+  /// Approximate per-rank device memory (adjacency + feature block + model),
+  /// for reproducing the paper's memory-capped (c, k) choices.
+  std::size_t per_rank_bytes(int rank) const;
+
+ private:
+  /// Samples every minibatch of the epoch in bulk rounds, returning each
+  /// rank's training queue.
+  std::vector<std::vector<MinibatchSample>> sample_epoch(
+      const std::vector<std::vector<index_t>>& batches, std::uint64_t epoch_seed);
+
+  Cluster& cluster_;
+  const Dataset& ds_;
+  PipelineConfig cfg_;
+  FeatureStore features_;
+  std::unique_ptr<MatrixSampler> local_sampler_;            // replicated mode
+  std::unique_ptr<PartitionedSageSampler> part_sage_;       // partitioned mode
+  std::unique_ptr<PartitionedLadiesSampler> part_ladies_;
+  SageModel model_;
+  std::unique_ptr<Optimizer> optimizer_;
+};
+
+}  // namespace dms

@@ -1,0 +1,138 @@
+// Unit tests for the CSR/COO core types.
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace dms {
+namespace {
+
+CsrMatrix example_paper_graph() {
+  // The 6-vertex graph of Figure 1 (adjacency of Figure 2a).
+  return CsrMatrix::from_triplets(
+      6, 6,
+      {0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3, 3, 4, 4, 5, 5},
+      {1, 3, 5, 0, 2, 4, 1, 3, 4, 0, 1, 2, 3, 3, 4, 2, 3},
+      std::vector<value_t>(17, 1.0));
+}
+
+TEST(CsrMatrix, EmptyConstruction) {
+  CsrMatrix m(4, 7);
+  EXPECT_EQ(m.rows(), 4);
+  EXPECT_EQ(m.cols(), 7);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(CsrMatrix, NegativeDimensionsThrow) {
+  EXPECT_THROW(CsrMatrix(-1, 3), DmsError);
+}
+
+TEST(CsrMatrix, FromCooSortsWithinRows) {
+  CooMatrix coo(2, 5);
+  coo.push(0, 4, 1.0);
+  coo.push(0, 1, 2.0);
+  coo.push(1, 3, 3.0);
+  coo.push(1, 0, 4.0);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  m.validate();
+  EXPECT_EQ(m.at(0, 1), 2.0);
+  EXPECT_EQ(m.at(0, 4), 1.0);
+  EXPECT_EQ(m.at(1, 0), 4.0);
+  EXPECT_EQ(m.at(1, 3), 3.0);
+}
+
+TEST(CsrMatrix, FromCooSumsDuplicates) {
+  CooMatrix coo(1, 3);
+  coo.push(0, 2, 1.5);
+  coo.push(0, 2, 2.5);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 4.0);
+}
+
+TEST(CsrMatrix, FromCooRejectsOutOfRange) {
+  CooMatrix coo(2, 2);
+  coo.push(0, 2, 1.0);
+  EXPECT_THROW(CsrMatrix::from_coo(coo), DmsError);
+}
+
+TEST(CsrMatrix, FromTripletsLengthMismatchThrows) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {0}, {0, 1}, {1.0, 2.0}), DmsError);
+}
+
+TEST(CsrMatrix, OneNonzeroPerRowBuildsQMatrix) {
+  // The GraphSAGE Q^L construction of §4.1.1: batch {1, 5}.
+  const CsrMatrix q = CsrMatrix::one_nonzero_per_row(6, {1, 5});
+  q.validate();
+  EXPECT_EQ(q.rows(), 2);
+  EXPECT_EQ(q.cols(), 6);
+  EXPECT_EQ(q.nnz(), 2);
+  EXPECT_DOUBLE_EQ(q.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(q.at(1, 5), 1.0);
+}
+
+TEST(CsrMatrix, OneNonzeroPerRowRejectsBadColumn) {
+  EXPECT_THROW(CsrMatrix::one_nonzero_per_row(3, {0, 3}), DmsError);
+}
+
+TEST(CsrMatrix, AtReturnsZeroForAbsentEntries) {
+  const CsrMatrix m = example_paper_graph();
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 1.0);
+  EXPECT_THROW(m.at(6, 0), DmsError);
+}
+
+TEST(CsrMatrix, RowAccessors) {
+  const CsrMatrix m = example_paper_graph();
+  EXPECT_EQ(m.row_nnz(0), 3);
+  const auto cols = m.row_cols(0);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], 1);
+  EXPECT_EQ(cols[1], 3);
+  EXPECT_EQ(cols[2], 5);
+}
+
+TEST(CsrMatrix, ValidateCatchesUnsortedColumns) {
+  CsrMatrix bad(2, 3, {0, 2, 2}, {2, 1}, {1.0, 1.0});
+  EXPECT_THROW(bad.validate(), DmsError);
+}
+
+TEST(CsrMatrix, ValidateCatchesBadRowptr) {
+  CsrMatrix bad(2, 3, {0, 2, 1}, {0, 1}, {1.0, 1.0});
+  EXPECT_THROW(bad.validate(), DmsError);
+}
+
+TEST(CsrMatrix, ValidateCatchesColumnOutOfRange) {
+  CsrMatrix bad(1, 2, {0, 1}, {2}, {1.0});
+  EXPECT_THROW(bad.validate(), DmsError);
+}
+
+TEST(CsrMatrix, EqualityIsStructuralAndNumeric) {
+  const CsrMatrix a = example_paper_graph();
+  CsrMatrix b = example_paper_graph();
+  EXPECT_TRUE(a == b);
+  b.mutable_vals()[0] = 2.0;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(CsrMatrix, BytesAccountsForAllArrays) {
+  const CsrMatrix m = example_paper_graph();
+  EXPECT_EQ(m.bytes(), 7 * sizeof(nnz_t) + 17 * (sizeof(index_t) + sizeof(value_t)));
+}
+
+TEST(CooMatrix, SortAndCombine) {
+  CooMatrix coo(3, 3);
+  coo.push(2, 0, 1.0);
+  coo.push(0, 1, 2.0);
+  coo.push(2, 0, 3.0);
+  coo.push(0, 0, 4.0);
+  coo.sort_and_combine();
+  EXPECT_EQ(coo.nnz(), 3);
+  EXPECT_EQ(coo.row_idx[0], 0);
+  EXPECT_EQ(coo.col_idx[0], 0);
+  EXPECT_DOUBLE_EQ(coo.vals[2], 4.0);  // merged 1+3 at (2,0)
+}
+
+}  // namespace
+}  // namespace dms

@@ -1,0 +1,166 @@
+// Graph Partitioned samplers: bit-identical results to the single-node
+// samplers across grid shapes (the determinism contract that makes the
+// distributed algorithms testable), plus phase accounting.
+#include <gtest/gtest.h>
+
+#include "core/graphsage.hpp"
+#include "core/ladies.hpp"
+#include "core/minibatch.hpp"
+#include "dist/dist_sampler.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace dms {
+namespace {
+
+Cluster make_cluster(int p, int c) {
+  return Cluster(ProcessGrid(p, c), CostModel(LinkParams{}));
+}
+
+std::vector<std::vector<index_t>> make_batches(index_t n, index_t k, index_t b) {
+  std::vector<index_t> train;
+  for (index_t v = 0; v < k * b; ++v) train.push_back(v % n);
+  auto batches = make_epoch_batches(train, b, 42);
+  batches.resize(static_cast<std::size_t>(k));
+  return batches;
+}
+
+struct GridParam {
+  int p, c;
+};
+
+class PartitionedSageSweep : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(PartitionedSageSweep, MatchesSingleNodeSampler) {
+  const auto [p, c] = GetParam();
+  Cluster cluster = make_cluster(p, c);
+  const Graph g = generate_erdos_renyi(256, 10.0, 31);
+  const SamplerConfig cfg{{3, 2}, 1};
+  const auto batches = make_batches(256, 8, 4);
+  std::vector<index_t> ids = {0, 1, 2, 3, 4, 5, 6, 7};
+
+  PartitionedSageSampler dist(g, cluster.grid(), cfg);
+  const auto per_row = dist.sample_bulk(cluster, batches, ids, 2024);
+
+  GraphSageSampler local(g, cfg);
+  const auto ref = local.sample_bulk(batches, ids, 2024);
+
+  std::size_t seen = 0;
+  for (const auto& row : per_row) {
+    for (const auto& ms : row) {
+      const auto& expect = ref[seen++];
+      ASSERT_EQ(ms.layers.size(), expect.layers.size());
+      EXPECT_EQ(ms.batch_vertices, expect.batch_vertices);
+      for (std::size_t l = 0; l < ms.layers.size(); ++l) {
+        EXPECT_TRUE(ms.layers[l].adj == expect.layers[l].adj);
+        EXPECT_EQ(ms.layers[l].col_vertices, expect.layers[l].col_vertices);
+      }
+    }
+  }
+  EXPECT_EQ(seen, ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, PartitionedSageSweep,
+                         ::testing::Values(GridParam{1, 1}, GridParam{2, 1},
+                                           GridParam{4, 2}, GridParam{8, 2},
+                                           GridParam{16, 4}));
+
+class PartitionedLadiesSweep : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(PartitionedLadiesSweep, MatchesSingleNodeSampler) {
+  const auto [p, c] = GetParam();
+  Cluster cluster = make_cluster(p, c);
+  const Graph g = generate_erdos_renyi(200, 12.0, 32);
+  const SamplerConfig cfg{{16}, 1};
+  const auto batches = make_batches(200, 8, 8);
+  std::vector<index_t> ids = {0, 1, 2, 3, 4, 5, 6, 7};
+
+  PartitionedLadiesSampler dist(g, cluster.grid(), cfg);
+  const auto per_row = dist.sample_bulk(cluster, batches, ids, 77);
+
+  LadiesSampler local(g, cfg);
+  const auto ref = local.sample_bulk(batches, ids, 77);
+
+  std::size_t seen = 0;
+  for (const auto& row : per_row) {
+    for (const auto& ms : row) {
+      const auto& expect = ref[seen++];
+      for (std::size_t l = 0; l < ms.layers.size(); ++l) {
+        EXPECT_TRUE(ms.layers[l].adj == expect.layers[l].adj);
+        EXPECT_EQ(ms.layers[l].col_vertices, expect.layers[l].col_vertices);
+      }
+    }
+  }
+  EXPECT_EQ(seen, ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, PartitionedLadiesSweep,
+                         ::testing::Values(GridParam{1, 1}, GridParam{2, 1},
+                                           GridParam{4, 2}, GridParam{8, 2},
+                                           GridParam{16, 4}));
+
+TEST(PartitionedLadies, ChunkSizeDoesNotChangeResults) {
+  // The §8.2.2 column-extraction splitting is a memory optimization only.
+  Cluster c1 = make_cluster(4, 2);
+  Cluster c2 = make_cluster(4, 2);
+  const Graph g = generate_erdos_renyi(150, 10.0, 33);
+  const SamplerConfig cfg{{32}, 1};
+  const auto batches = make_batches(150, 4, 8);
+  std::vector<index_t> ids = {0, 1, 2, 3};
+
+  PartitionedSamplerOptions small_chunk;
+  small_chunk.ladies_extract_chunk = 4;
+  PartitionedSamplerOptions big_chunk;
+  big_chunk.ladies_extract_chunk = 1 << 20;
+
+  PartitionedLadiesSampler s1(g, c1.grid(), cfg, small_chunk);
+  PartitionedLadiesSampler s2(g, c2.grid(), cfg, big_chunk);
+  const auto r1 = s1.sample_bulk(c1, batches, ids, 5);
+  const auto r2 = s2.sample_bulk(c2, batches, ids, 5);
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    ASSERT_EQ(r1[i].size(), r2[i].size());
+    for (std::size_t b = 0; b < r1[i].size(); ++b) {
+      EXPECT_TRUE(r1[i][b].layers[0].adj == r2[i][b].layers[0].adj);
+    }
+  }
+}
+
+TEST(PartitionedSage, RecordsAllThreePhases) {
+  Cluster cluster = make_cluster(4, 2);
+  const Graph g = generate_erdos_renyi(128, 8.0, 34);
+  PartitionedSageSampler dist(g, cluster.grid(), {{3}, 1});
+  const auto batches = make_batches(128, 4, 4);
+  dist.sample_bulk(cluster, batches, {0, 1, 2, 3}, 9);
+  EXPECT_GT(cluster.phase_time(kPhaseProbability), 0.0);
+  EXPECT_GT(cluster.phase_time(kPhaseSampling), 0.0);
+  EXPECT_GT(cluster.phase_time(kPhaseExtraction), 0.0);
+}
+
+TEST(PartitionedSage, SparsityObliviousSameSamples) {
+  Cluster c1 = make_cluster(8, 2);
+  Cluster c2 = make_cluster(8, 2);
+  const Graph g = generate_erdos_renyi(128, 8.0, 35);
+  PartitionedSamplerOptions aware;
+  aware.sparsity_aware = true;
+  PartitionedSamplerOptions oblivious;
+  oblivious.sparsity_aware = false;
+  PartitionedSageSampler s1(g, c1.grid(), {{4, 2}, 1}, aware);
+  PartitionedSageSampler s2(g, c2.grid(), {{4, 2}, 1}, oblivious);
+  const auto batches = make_batches(128, 8, 4);
+  std::vector<index_t> ids = {0, 1, 2, 3, 4, 5, 6, 7};
+  const auto r1 = s1.sample_bulk(c1, batches, ids, 3);
+  const auto r2 = s2.sample_bulk(c2, batches, ids, 3);
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    for (std::size_t b = 0; b < r1[i].size(); ++b) {
+      for (std::size_t l = 0; l < r1[i][b].layers.size(); ++l) {
+        EXPECT_TRUE(r1[i][b].layers[l].adj == r2[i][b].layers[l].adj);
+      }
+    }
+  }
+  // Oblivious ships more bytes.
+  EXPECT_LT(c1.comm_stats().at(kPhaseProbability).bytes,
+            c2.comm_stats().at(kPhaseProbability).bytes);
+}
+
+}  // namespace
+}  // namespace dms

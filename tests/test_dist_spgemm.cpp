@@ -1,0 +1,136 @@
+// 1.5D distributed SpGEMM (Algorithm 2): exact agreement with the
+// single-node product across grid shapes, plus sparsity-aware vs oblivious
+// volume comparisons.
+#include <gtest/gtest.h>
+
+#include "dist/spgemm_15d.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/spgemm.hpp"
+#include "test_util.hpp"
+
+namespace dms {
+namespace {
+
+using testutil::random_csr;
+
+Cluster make_cluster(int p, int c) {
+  return Cluster(ProcessGrid(p, c), CostModel(LinkParams{}));
+}
+
+/// Splits a global Q into per-process-row blocks.
+std::vector<CsrMatrix> split_rows(const CsrMatrix& q, int parts) {
+  BlockPartition part(q.rows(), parts);
+  std::vector<CsrMatrix> blocks;
+  for (index_t i = 0; i < parts; ++i) {
+    blocks.push_back(row_slice(q, part.begin(i), part.end(i)));
+  }
+  return blocks;
+}
+
+struct GridParam {
+  int p, c;
+};
+
+class Spgemm15dGridSweep : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(Spgemm15dGridSweep, MatchesSingleNodeProduct) {
+  const auto [p, c] = GetParam();
+  Cluster cluster = make_cluster(p, c);
+  const CsrMatrix a_global = random_csr(96, 96, 0.08, 101);
+  const CsrMatrix q_global = random_csr(40, 96, 0.05, 102);
+  const DistBlockRowMatrix a(cluster.grid(), a_global);
+  const auto q_blocks = split_rows(q_global, cluster.grid().rows());
+
+  const auto p_blocks = spgemm_15d(cluster, q_blocks, a);
+  const CsrMatrix p_dist = vstack(p_blocks);
+  const CsrMatrix p_ref = spgemm(q_global, a_global);
+  EXPECT_LT(max_abs_diff(p_dist, p_ref), 1e-12)
+      << "grid p=" << p << " c=" << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, Spgemm15dGridSweep,
+                         ::testing::Values(GridParam{1, 1}, GridParam{2, 1},
+                                           GridParam{4, 1}, GridParam{4, 2},
+                                           GridParam{8, 2}, GridParam{16, 4},
+                                           GridParam{16, 2}, GridParam{8, 1}));
+
+TEST(Spgemm15d, ObliviousVariantGivesSameProduct) {
+  Cluster cluster = make_cluster(8, 2);
+  const CsrMatrix a_global = random_csr(64, 64, 0.1, 103);
+  const CsrMatrix q_global = random_csr(24, 64, 0.06, 104);
+  const DistBlockRowMatrix a(cluster.grid(), a_global);
+  const auto q_blocks = split_rows(q_global, cluster.grid().rows());
+
+  Spgemm15dOptions aware;
+  aware.sparsity_aware = true;
+  Spgemm15dOptions oblivious;
+  oblivious.sparsity_aware = false;
+  const CsrMatrix pa = vstack(spgemm_15d(cluster, q_blocks, a, aware));
+  const CsrMatrix po = vstack(spgemm_15d(cluster, q_blocks, a, oblivious));
+  EXPECT_TRUE(pa == po);
+}
+
+TEST(Spgemm15d, SparsityAwareSendsFewerRowBytes) {
+  // With a very sparse Q, the sparsity-aware variant (Ballard et al.) must
+  // ship far less A-row data than broadcasting whole block rows.
+  Cluster c1 = make_cluster(8, 2);
+  Cluster c2 = make_cluster(8, 2);
+  const CsrMatrix a_global = random_csr(128, 128, 0.1, 105);
+  const CsrMatrix q_global = random_csr(16, 128, 0.01, 106);
+  const DistBlockRowMatrix a1(c1.grid(), a_global);
+  const auto q_blocks = split_rows(q_global, 4);
+
+  Spgemm15dStats aware_stats, obl_stats;
+  Spgemm15dOptions aware;
+  aware.sparsity_aware = true;
+  Spgemm15dOptions oblivious;
+  oblivious.sparsity_aware = false;
+  spgemm_15d(c1, q_blocks, a1, aware, &aware_stats);
+  spgemm_15d(c2, q_blocks, a1, oblivious, &obl_stats);
+  EXPECT_LT(aware_stats.row_data_bytes, obl_stats.row_data_bytes / 2);
+  EXPECT_GT(aware_stats.id_bytes, 0u);
+  EXPECT_EQ(obl_stats.id_bytes, 0u);
+}
+
+TEST(Spgemm15d, RecordsComputeAndCommPhases) {
+  Cluster cluster = make_cluster(4, 2);
+  const CsrMatrix a_global = random_csr(40, 40, 0.2, 107);
+  const DistBlockRowMatrix a(cluster.grid(), a_global);
+  const auto q_blocks = split_rows(random_csr(12, 40, 0.1, 108), 2);
+  Spgemm15dOptions opts;
+  opts.phase = "probability";
+  spgemm_15d(cluster, q_blocks, a, opts);
+  EXPECT_GT(cluster.compute_time().at("probability"), 0.0);
+  EXPECT_GT(cluster.comm_stats().at("probability").seconds, 0.0);
+  EXPECT_GT(cluster.comm_stats().at("probability").bytes, 0u);
+}
+
+TEST(Spgemm15d, SingleRankNeedsNoCommunication) {
+  Cluster cluster = make_cluster(1, 1);
+  const CsrMatrix a_global = random_csr(30, 30, 0.2, 109);
+  const DistBlockRowMatrix a(cluster.grid(), a_global);
+  const auto q_blocks = split_rows(random_csr(10, 30, 0.2, 110), 1);
+  spgemm_15d(cluster, q_blocks, a);
+  EXPECT_DOUBLE_EQ(cluster.total_comm(), 0.0);
+}
+
+TEST(Spgemm15d, RejectsMismatchedBlocks) {
+  Cluster cluster = make_cluster(4, 2);
+  const DistBlockRowMatrix a(cluster.grid(), random_csr(20, 20, 0.3, 111));
+  std::vector<CsrMatrix> wrong_count = {CsrMatrix(2, 20)};
+  EXPECT_THROW(spgemm_15d(cluster, wrong_count, a), DmsError);
+  std::vector<CsrMatrix> wrong_dims = {CsrMatrix(2, 19), CsrMatrix(2, 19)};
+  EXPECT_THROW(spgemm_15d(cluster, wrong_dims, a), DmsError);
+}
+
+TEST(DistBlockRowMatrix, GatherReassembles) {
+  Cluster cluster = make_cluster(4, 1);
+  const CsrMatrix a_global = random_csr(21, 17, 0.3, 112);  // non-divisible rows
+  const DistBlockRowMatrix a(cluster.grid(), a_global);
+  EXPECT_TRUE(a.gather() == a_global);
+  EXPECT_EQ(a.num_blocks(), 4);
+  EXPECT_EQ(a.partition().size(0), 6);  // 21 = 6+5+5+5
+}
+
+}  // namespace
+}  // namespace dms

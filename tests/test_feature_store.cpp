@@ -1,0 +1,87 @@
+// 1.5D feature store: data correctness of fetch_all and the c-scaling of
+// its communication cost (the §8.1.2 claim).
+#include <gtest/gtest.h>
+
+#include "train/feature_store.hpp"
+#include "test_util.hpp"
+
+namespace dms {
+namespace {
+
+DenseF make_features(index_t n, index_t f) {
+  DenseF h(n, f);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < f; ++j) {
+      h(i, j) = static_cast<float>(i * 100 + j);
+    }
+  }
+  return h;
+}
+
+TEST(FeatureStore, FetchReturnsRequestedRows) {
+  Cluster cluster(ProcessGrid(4, 2), CostModel(LinkParams{}));
+  const DenseF h = make_features(64, 4);
+  FeatureStore store(cluster.grid(), h);
+  std::vector<std::vector<index_t>> wanted = {
+      {0, 63}, {5}, {}, {10, 11, 12}};
+  const auto out = store.fetch_all(cluster, wanted);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].rows(), 2);
+  EXPECT_FLOAT_EQ(out[0](0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out[0](1, 0), 6300.0f);
+  EXPECT_FLOAT_EQ(out[1](0, 3), 503.0f);
+  EXPECT_EQ(out[2].rows(), 0);
+  EXPECT_FLOAT_EQ(out[3](2, 1), 1201.0f);
+}
+
+TEST(FeatureStore, LocalRowsCostNothing) {
+  // A rank requesting only rows in its own block row communicates nothing.
+  Cluster cluster(ProcessGrid(4, 1), CostModel(LinkParams{}));
+  const DenseF h = make_features(40, 2);
+  FeatureStore store(cluster.grid(), h);
+  // Block rows: [0,10) on rank0, [10,20) rank1, etc.
+  std::vector<std::vector<index_t>> wanted = {{0, 1}, {10, 11}, {20}, {30}};
+  store.fetch_all(cluster, wanted);
+  EXPECT_EQ(cluster.comm_stats().at("fetch").bytes, 0u);
+}
+
+TEST(FeatureStore, HigherReplicationReducesFetchTime) {
+  // §8.1.2: "our feature fetching step scales with our replication factor
+  // c". Same requests, p=8, c ∈ {1,2,4} — higher c → fewer blocks per
+  // column → more locally available rows → less traffic.
+  const DenseF h = make_features(256, 8);
+  std::vector<double> times;
+  for (const int c : {1, 2, 4}) {
+    Cluster cluster(ProcessGrid(8, c), CostModel(LinkParams{}));
+    FeatureStore store(cluster.grid(), h);
+    std::vector<std::vector<index_t>> wanted(8);
+    Pcg32 rng(7);
+    for (auto& w : wanted) {
+      for (int i = 0; i < 64; ++i) w.push_back(rng.bounded64(256));
+    }
+    store.fetch_all(cluster, wanted);
+    times.push_back(cluster.comm_stats().at("fetch").seconds);
+  }
+  EXPECT_GT(times[0], times[1]);
+  EXPECT_GT(times[1], times[2]);
+}
+
+TEST(FeatureStore, BlockBytesSumToWholeMatrix) {
+  Cluster cluster(ProcessGrid(4, 2), CostModel(LinkParams{}));
+  const DenseF h = make_features(30, 6);
+  FeatureStore store(cluster.grid(), h);
+  std::size_t total = 0;
+  for (index_t i = 0; i < cluster.grid().rows(); ++i) total += store.block_bytes(i);
+  EXPECT_EQ(total, 30u * 6u * sizeof(float));
+}
+
+TEST(FeatureStore, WrongRequestCountThrows) {
+  Cluster cluster(ProcessGrid(2, 1), CostModel(LinkParams{}));
+  const DenseF h = make_features(8, 2);
+  FeatureStore store(cluster.grid(), h);
+  std::vector<std::vector<index_t>> wanted = {{0}};
+  EXPECT_THROW(store.fetch_all(cluster, wanted), DmsError);
+}
+
+}  // namespace
+}  // namespace dms

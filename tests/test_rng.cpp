@@ -1,0 +1,109 @@
+// Unit tests for the deterministic RNG substrate.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dms {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(SplitMix64, MixesNearbyInputs) {
+  // Adjacent seeds should differ in many bits.
+  const std::uint64_t a = splitmix64(1000);
+  const std::uint64_t b = splitmix64(1001);
+  const int bits = __builtin_popcountll(a ^ b);
+  EXPECT_GT(bits, 16);
+  EXPECT_LT(bits, 48);
+}
+
+TEST(DeriveSeed, DistinctAcrossComponents) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      for (std::uint64_t c = 0; c < 8; ++c) {
+        seen.insert(derive_seed(7, a, b, c));
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u * 8u * 8u);
+}
+
+TEST(Pcg32, SameSeedSameStream) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Pcg32, DifferentSeedDifferentStream) {
+  Pcg32 a(123), b(124);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, UniformInUnitInterval) {
+  Pcg32 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Pcg32, BoundedRespectsBound) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Pcg32, BoundedIsApproximatelyUniform) {
+  Pcg32 rng(11);
+  std::vector<int> hist(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++hist[rng.bounded(10)];
+  for (const int h : hist) {
+    EXPECT_NEAR(static_cast<double>(h), draws / 10.0, draws * 0.01);
+  }
+}
+
+TEST(Pcg32, Bounded64SmallAndLargeRanges) {
+  Pcg32 rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.bounded64(1000), 1000);
+    EXPECT_GE(rng.bounded64(1000), 0);
+  }
+  const index_t big = (index_t{1} << 40) + 17;
+  for (int i = 0; i < 100; ++i) {
+    const index_t v = rng.bounded64(big);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, big);
+  }
+}
+
+TEST(Pcg32, NormalHasUnitVarianceRoughly) {
+  Pcg32 rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.08);
+}
+
+}  // namespace
+}  // namespace dms

@@ -1,0 +1,92 @@
+// SpGEMM correctness against a dense reference, including a parameterized
+// sweep over shapes and densities.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sparse/ops.hpp"
+#include "sparse/spgemm.hpp"
+#include "test_util.hpp"
+
+namespace dms {
+namespace {
+
+using testutil::dense_matmul;
+using testutil::random_csr;
+
+TEST(Spgemm, DimensionMismatchThrows) {
+  const CsrMatrix a = random_csr(3, 4, 0.5, 1);
+  const CsrMatrix b = random_csr(5, 3, 0.5, 2);
+  EXPECT_THROW(spgemm(a, b), DmsError);
+}
+
+TEST(Spgemm, IdentityIsNeutral) {
+  const CsrMatrix a = random_csr(8, 8, 0.4, 3);
+  std::vector<index_t> diag(8);
+  for (index_t i = 0; i < 8; ++i) diag[static_cast<std::size_t>(i)] = i;
+  const CsrMatrix eye = CsrMatrix::one_nonzero_per_row(8, diag);
+  EXPECT_TRUE(spgemm(eye, a) == a);
+  EXPECT_NEAR(max_abs_diff(spgemm(a, eye), a), 0.0, 1e-14);
+}
+
+TEST(Spgemm, EmptyOperandsYieldEmptyProduct) {
+  const CsrMatrix a(4, 5);
+  const CsrMatrix b = random_csr(5, 3, 0.6, 4);
+  const CsrMatrix c = spgemm(a, b);
+  EXPECT_EQ(c.rows(), 4);
+  EXPECT_EQ(c.cols(), 3);
+  EXPECT_EQ(c.nnz(), 0);
+}
+
+TEST(Spgemm, ResultIsValidCsr) {
+  const CsrMatrix a = random_csr(20, 30, 0.2, 5);
+  const CsrMatrix b = random_csr(30, 25, 0.2, 6);
+  const CsrMatrix c = spgemm(a, b);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Spgemm, SerialAndParallelAgree) {
+  const CsrMatrix a = random_csr(64, 48, 0.15, 7);
+  const CsrMatrix b = random_csr(48, 56, 0.15, 8);
+  SpgemmOptions serial;
+  serial.parallel = false;
+  SpgemmOptions parallel;
+  parallel.parallel = true;
+  EXPECT_TRUE(spgemm(a, b, serial) == spgemm(a, b, parallel));
+}
+
+TEST(Spgemm, FlopsCountsMultiplyAdds) {
+  // A row with k nonzeros hitting B rows with m nonzeros each → k*m flops.
+  const CsrMatrix a = CsrMatrix::from_triplets(1, 3, {0, 0}, {0, 2}, {1.0, 1.0});
+  const CsrMatrix b = random_csr(3, 4, 1.0, 9);  // dense: 4 nnz per row
+  EXPECT_EQ(spgemm_flops(a, b), 8);
+}
+
+struct SweepParam {
+  index_t m, k, n;
+  double da, db;
+};
+
+class SpgemmSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SpgemmSweep, MatchesDenseReference) {
+  const auto p = GetParam();
+  const CsrMatrix a = random_csr(p.m, p.k, p.da, 11 + p.m);
+  const CsrMatrix b = random_csr(p.k, p.n, p.db, 13 + p.n);
+  const CsrMatrix c = spgemm(a, b);
+  c.validate();
+  const DenseD ref = dense_matmul(to_dense(a), to_dense(b));
+  EXPECT_LT(DenseD::max_abs_diff(to_dense(c), ref), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndDensities, SpgemmSweep,
+    ::testing::Values(SweepParam{1, 1, 1, 1.0, 1.0}, SweepParam{5, 7, 3, 0.5, 0.5},
+                      SweepParam{16, 16, 16, 0.1, 0.9}, SweepParam{16, 16, 16, 0.9, 0.1},
+                      SweepParam{1, 40, 40, 0.3, 0.3}, SweepParam{40, 1, 40, 1.0, 1.0},
+                      SweepParam{40, 40, 1, 0.3, 0.3}, SweepParam{33, 17, 29, 0.05, 0.4},
+                      SweepParam{64, 32, 48, 0.25, 0.25},
+                      SweepParam{100, 100, 100, 0.02, 0.02}));
+
+}  // namespace
+}  // namespace dms

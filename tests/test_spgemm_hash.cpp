@@ -1,0 +1,84 @@
+// Hash-accumulator SpGEMM: equivalence with the dense-accumulator kernel.
+#include <gtest/gtest.h>
+
+#include "sparse/ops.hpp"
+#include "sparse/spgemm.hpp"
+#include "sparse/spgemm_hash.hpp"
+#include "test_util.hpp"
+
+namespace dms {
+namespace {
+
+using testutil::random_csr;
+
+TEST(SpgemmHash, MatchesDenseAccumulatorKernel) {
+  const CsrMatrix a = random_csr(40, 60, 0.1, 201);
+  const CsrMatrix b = random_csr(60, 50, 0.15, 202);
+  const CsrMatrix h = spgemm_hash(a, b);
+  h.validate();
+  EXPECT_LT(max_abs_diff(h, spgemm(a, b)), 1e-12);
+}
+
+TEST(SpgemmHash, DimensionMismatchThrows) {
+  EXPECT_THROW(spgemm_hash(CsrMatrix(2, 3), CsrMatrix(4, 2)), DmsError);
+}
+
+TEST(SpgemmHash, EmptyRowsAndMatrices) {
+  const CsrMatrix a(5, 5);
+  const CsrMatrix b = random_csr(5, 5, 0.5, 203);
+  const CsrMatrix c = spgemm_hash(a, b);
+  EXPECT_EQ(c.nnz(), 0);
+  EXPECT_EQ(c.rows(), 5);
+}
+
+TEST(SpgemmHash, CollisionHeavyColumns) {
+  // Many A rows hitting the same few B columns stresses probing/merging.
+  CooMatrix acoo(32, 8);
+  CooMatrix bcoo(8, 4);
+  Pcg32 rng(7);
+  for (index_t r = 0; r < 32; ++r) {
+    for (index_t k = 0; k < 8; ++k) acoo.push(r, k, rng.uniform() + 0.1);
+  }
+  for (index_t k = 0; k < 8; ++k) {
+    for (index_t c = 0; c < 4; ++c) bcoo.push(k, c, rng.uniform() + 0.1);
+  }
+  const CsrMatrix a = CsrMatrix::from_coo(acoo);
+  const CsrMatrix b = CsrMatrix::from_coo(bcoo);
+  EXPECT_LT(max_abs_diff(spgemm_hash(a, b), spgemm(a, b)), 1e-12);
+}
+
+struct HashSweep {
+  index_t m, k, n;
+  double da, db;
+};
+
+class SpgemmHashSweep : public ::testing::TestWithParam<HashSweep> {};
+
+TEST_P(SpgemmHashSweep, AgreesWithReference) {
+  const auto p = GetParam();
+  const CsrMatrix a = random_csr(p.m, p.k, p.da, 211 + p.m);
+  const CsrMatrix b = random_csr(p.k, p.n, p.db, 213 + p.n);
+  const CsrMatrix h = spgemm_hash(a, b);
+  h.validate();
+  EXPECT_LT(max_abs_diff(h, spgemm(a, b)), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpgemmHashSweep,
+    ::testing::Values(HashSweep{1, 1, 1, 1.0, 1.0}, HashSweep{7, 5, 9, 0.4, 0.4},
+                      HashSweep{64, 64, 64, 0.05, 0.05},
+                      HashSweep{16, 128, 16, 0.3, 0.02},
+                      HashSweep{100, 40, 100, 0.1, 0.1},
+                      HashSweep{33, 77, 55, 0.02, 0.5}));
+
+TEST(SpgemmWith, DispatchesBothAlgorithms) {
+  const CsrMatrix a = random_csr(10, 10, 0.4, 220);
+  const CsrMatrix b = random_csr(10, 10, 0.4, 221);
+  EXPECT_TRUE(spgemm_with(SpgemmAlgorithm::kDenseAccumulator, a, b) ==
+              spgemm(a, b));
+  EXPECT_LT(max_abs_diff(spgemm_with(SpgemmAlgorithm::kHash, a, b), spgemm(a, b)),
+            1e-12);
+}
+
+}  // namespace
+}  // namespace dms

@@ -1,0 +1,81 @@
+// SpMM (sparse × dense) against dense references.
+#include <gtest/gtest.h>
+
+#include "sparse/ops.hpp"
+#include "sparse/spmm.hpp"
+#include "test_util.hpp"
+
+namespace dms {
+namespace {
+
+using testutil::dense_matmul;
+using testutil::random_csr;
+
+DenseD random_dense(index_t rows, index_t cols, std::uint64_t seed) {
+  DenseD d(rows, cols);
+  Pcg32 rng(seed, 0xd);
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t j = 0; j < cols; ++j) d(i, j) = 2.0 * rng.uniform() - 1.0;
+  }
+  return d;
+}
+
+TEST(Spmm, MatchesDenseReference) {
+  const CsrMatrix a = random_csr(12, 9, 0.4, 41);
+  const DenseD b = random_dense(9, 5, 42);
+  const DenseD c = spmm(a, b);
+  const DenseD ref = dense_matmul(to_dense(a), b);
+  EXPECT_LT(DenseD::max_abs_diff(c, ref), 1e-12);
+}
+
+TEST(Spmm, DimensionMismatchThrows) {
+  const CsrMatrix a = random_csr(3, 4, 0.5, 43);
+  EXPECT_THROW(spmm(a, DenseD(5, 2)), DmsError);
+}
+
+TEST(Spmm, FloatVariantWorks) {
+  const CsrMatrix a = random_csr(6, 6, 0.5, 44);
+  DenseF b(6, 3);
+  for (index_t i = 0; i < 6; ++i) {
+    for (index_t j = 0; j < 3; ++j) b(i, j) = static_cast<float>(i + j);
+  }
+  const DenseF c = spmm(a, b);
+  EXPECT_EQ(c.rows(), 6);
+  EXPECT_EQ(c.cols(), 3);
+}
+
+TEST(SpmmTransposed, MatchesExplicitTranspose) {
+  const CsrMatrix a = random_csr(10, 7, 0.3, 45);
+  const DenseD b = random_dense(10, 4, 46);
+  const DenseD c1 = spmm_transposed(a, b);
+  const DenseD c2 = spmm(transpose(a), b);
+  EXPECT_LT(DenseD::max_abs_diff(c1, c2), 1e-12);
+}
+
+TEST(SpmmTransposed, DimensionMismatchThrows) {
+  const CsrMatrix a = random_csr(3, 4, 0.5, 47);
+  EXPECT_THROW(spmm_transposed(a, DenseD(4, 2)), DmsError);
+}
+
+class SpmmSweep : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t>> {};
+
+TEST_P(SpmmSweep, ForwardAndTransposedAgreeWithDense) {
+  const auto [m, k, f] = GetParam();
+  const CsrMatrix a = random_csr(m, k, 0.25, 48 + m);
+  const DenseD b = random_dense(k, f, 49 + f);
+  EXPECT_LT(DenseD::max_abs_diff(spmm(a, b), dense_matmul(to_dense(a), b)), 1e-12);
+  const DenseD bt = random_dense(m, f, 50 + f);
+  EXPECT_LT(DenseD::max_abs_diff(spmm_transposed(a, bt),
+                                 dense_matmul(to_dense(transpose(a)), bt)),
+            1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SpmmSweep,
+                         ::testing::Values(std::make_tuple(1, 1, 1),
+                                           std::make_tuple(8, 3, 16),
+                                           std::make_tuple(3, 8, 2),
+                                           std::make_tuple(32, 32, 8),
+                                           std::make_tuple(64, 16, 4)));
+
+}  // namespace
+}  // namespace dms
