@@ -4,7 +4,7 @@
 // nonzero columns of Q actually touch.
 #include "bench_util.hpp"
 #include "core/minibatch.hpp"
-#include "dist/dist_sampler.hpp"
+#include "dist/sampler_factory.hpp"
 
 using namespace dms;
 using namespace dms::bench;
@@ -20,11 +20,13 @@ int main() {
   for (const auto& [p, c] : std::vector<std::pair<int, int>>{{16, 2}, {32, 2}, {64, 4}}) {
     for (const bool aware : {true, false}) {
       Cluster cluster(ProcessGrid(p, c), CostModel(perlmutter_links()));
-      PartitionedSamplerOptions opts;
-      opts.sparsity_aware = aware;
-      SamplerConfig scfg{arch().sage_fanout, 1};
-      PartitionedSageSampler sampler(ds.graph, cluster.grid(), scfg, opts);
-      sampler.sample_bulk(cluster, batches, ids, 7);
+      SamplerContext ctx;
+      ctx.config = SamplerConfig{arch().sage_fanout, 1};
+      ctx.grid = &cluster.grid();
+      ctx.part_opts.sparsity_aware = aware;
+      const auto sampler =
+          make_sampler(SamplerKind::kGraphSage, DistMode::kPartitioned, ds.graph, ctx);
+      as_partitioned(*sampler).sample_bulk(cluster, batches, ids, 7);
       const auto& comm = cluster.comm_stats().at(kPhaseProbability);
       print_row({std::to_string(p), std::to_string(c), aware ? "aware" : "oblivious",
                  fmt(cluster.phase_time(kPhaseProbability)), fmt(comm.seconds),

@@ -8,7 +8,7 @@
 #include "baselines/ladies_cpu.hpp"
 #include "bench_util.hpp"
 #include "core/minibatch.hpp"
-#include "dist/dist_sampler.hpp"
+#include "dist/sampler_factory.hpp"
 
 using namespace dms;
 using namespace dms::bench;
@@ -39,9 +39,12 @@ int main() {
               12);
     for (const auto& [p, c] : pts) {
       Cluster cluster(ProcessGrid(p, c), CostModel(links));
-      SamplerConfig scfg{{arch().ladies_s}, 1};
-      PartitionedLadiesSampler sampler(ds.graph, cluster.grid(), scfg);
-      sampler.sample_bulk(cluster, batches, ids, /*epoch_seed=*/7);
+      SamplerContext ctx;
+      ctx.config = SamplerConfig{{arch().ladies_s}, 1};
+      ctx.grid = &cluster.grid();
+      const auto sampler =
+          make_sampler(SamplerKind::kLadies, DistMode::kPartitioned, ds.graph, ctx);
+      as_partitioned(*sampler).sample_bulk(cluster, batches, ids, /*epoch_seed=*/7);
       print_row({std::to_string(p), std::to_string(c), fmt(cluster.total_time()),
                  fmt(cluster.phase_time(kPhaseProbability)),
                  fmt(cluster.phase_time(kPhaseSampling)),

@@ -7,7 +7,7 @@
 // computation scales with p.
 #include "bench_util.hpp"
 #include "core/minibatch.hpp"
-#include "dist/dist_sampler.hpp"
+#include "dist/sampler_factory.hpp"
 
 using namespace dms;
 using namespace dms::bench;
@@ -43,9 +43,12 @@ int main() {
               12);
     for (const Point& pt : pts) {
       Cluster cluster(ProcessGrid(pt.p, pt.c), CostModel(links));
-      SamplerConfig scfg{arch().sage_fanout, 1};
-      PartitionedSageSampler sampler(ds.graph, cluster.grid(), scfg);
-      sampler.sample_bulk(cluster, batches, ids, /*epoch_seed=*/7);
+      SamplerContext ctx;
+      ctx.config = SamplerConfig{arch().sage_fanout, 1};
+      ctx.grid = &cluster.grid();
+      const auto sampler =
+          make_sampler(SamplerKind::kGraphSage, DistMode::kPartitioned, ds.graph, ctx);
+      as_partitioned(*sampler).sample_bulk(cluster, batches, ids, /*epoch_seed=*/7);
       print_row({std::to_string(pt.p), std::to_string(pt.c),
                  fmt(cluster.total_time()),
                  fmt(cluster.phase_time(kPhaseProbability)),

@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "core/minibatch.hpp"
-#include "dist/dist_sampler.hpp"
+#include "dist/sampler_factory.hpp"
 #include "graph/dataset.hpp"
 
 using namespace dms;
@@ -28,8 +28,13 @@ int main() {
               "probability", "sampling", "extraction", "compute", "comm");
   for (const int c : {1, 2, 4}) {
     Cluster cluster(ProcessGrid(16, c), CostModel(LinkParams{}));
-    PartitionedSageSampler sampler(ds.graph, cluster.grid(), {{8, 4, 4}, 1});
-    const auto per_row = sampler.sample_bulk(cluster, batches, ids, /*epoch_seed=*/5);
+    SamplerContext ctx;
+    ctx.config = SamplerConfig{{8, 4, 4}, 1};
+    ctx.grid = &cluster.grid();
+    const auto sampler =
+        make_sampler(SamplerKind::kGraphSage, DistMode::kPartitioned, ds.graph, ctx);
+    const auto per_row =
+        as_partitioned(*sampler).sample_bulk(cluster, batches, ids, /*epoch_seed=*/5);
 
     std::size_t total_samples = 0;
     for (const auto& row : per_row) total_samples += row.size();

@@ -5,11 +5,9 @@
 #include <cstdio>
 
 #include "common/timer.hpp"
-#include "core/fastgcn.hpp"
-#include "core/graphsage.hpp"
 #include "core/graphsaint.hpp"
-#include "core/ladies.hpp"
 #include "core/minibatch.hpp"
+#include "dist/sampler_factory.hpp"
 #include "graph/dataset.hpp"
 
 using namespace dms;
@@ -50,12 +48,10 @@ int main() {
 
   std::printf("%-10s %-8s %-14s %-12s %-14s %-10s\n", "sampler", "layers",
               "frontier/bat", "edges/bat", "inputs/bat", "time(s)");
-  GraphSageSampler sage(ds.graph, {{8, 4, 4}, 1});
-  report("SAGE", sage, batches);
-  LadiesSampler ladies(ds.graph, {{64}, 1});
-  report("LADIES", ladies, batches);
-  FastGcnSampler fastgcn(ds.graph, {{64}, 1});
-  report("FastGCN", fastgcn, batches);
+  report("SAGE", *make_sampler(SamplerKind::kGraphSage, ds.graph, {{8, 4, 4}, 1}),
+         batches);
+  report("LADIES", *make_sampler(SamplerKind::kLadies, ds.graph, {{64}, 1}), batches);
+  report("FastGCN", *make_sampler(SamplerKind::kFastGcn, ds.graph, {{64}, 1}), batches);
   GraphSaintConfig saint_cfg;
   saint_cfg.walk_length = 3;
   saint_cfg.model_layers = 3;

@@ -34,4 +34,15 @@ LayerSample build_layer_sample(const std::vector<index_t>& row_vertices,
   return out;
 }
 
+FrontierStack stack_frontiers(const std::vector<std::vector<index_t>>& frontiers) {
+  FrontierStack stack;
+  stack.offsets.reserve(frontiers.size() + 1);
+  stack.offsets.push_back(0);
+  for (const auto& f : frontiers) {
+    stack.vertices.insert(stack.vertices.end(), f.begin(), f.end());
+    stack.offsets.push_back(static_cast<index_t>(stack.vertices.size()));
+  }
+  return stack;
+}
+
 }  // namespace dms

@@ -15,4 +15,15 @@ namespace dms {
 LayerSample build_layer_sample(const std::vector<index_t>& row_vertices,
                                const std::vector<std::vector<index_t>>& sampled_per_row);
 
+/// The stacked row construction of Eq. 1: per-batch vertex lists
+/// concatenated, with offsets[b] = first stacked row of batch b. Shared by
+/// the single-node and Graph Partitioned samplers so both execution modes
+/// stack identically (part of the bit-identity determinism contract).
+struct FrontierStack {
+  std::vector<index_t> vertices;  ///< concatenated per-batch vertex ids
+  std::vector<index_t> offsets;   ///< batches+1 block offsets
+};
+
+FrontierStack stack_frontiers(const std::vector<std::vector<index_t>>& frontiers);
+
 }  // namespace dms

@@ -8,6 +8,40 @@
 
 namespace dms {
 
+RowSeedFn sage_row_seed_fn(const FrontierStack& stack,
+                           const std::vector<index_t>& batch_ids,
+                           index_t first_batch, index_t layer,
+                           std::uint64_t epoch_seed) {
+  // Stacked row -> per-row seed, precomputed so the closure owns its state
+  // (no borrowed references — the caller may store the function).
+  std::vector<std::uint64_t> row_seed(stack.vertices.size());
+  for (std::size_t b = 0; b + 1 < stack.offsets.size(); ++b) {
+    const index_t g = first_batch + static_cast<index_t>(b);
+    const auto id = static_cast<std::uint64_t>(batch_ids[static_cast<std::size_t>(g)]);
+    for (index_t r = stack.offsets[b]; r < stack.offsets[b + 1]; ++r) {
+      row_seed[static_cast<std::size_t>(r)] =
+          derive_seed(epoch_seed, id, static_cast<std::uint64_t>(layer),
+                      static_cast<std::uint64_t>(r - stack.offsets[b]));
+    }
+  }
+  return [row_seed = std::move(row_seed)](index_t row) {
+    return row_seed[static_cast<std::size_t>(row)];
+  };
+}
+
+LayerSample sage_extract_layer(const CsrMatrix& qs, const FrontierStack& stack,
+                               std::size_t b,
+                               const std::vector<index_t>& frontier_b) {
+  const index_t r0 = stack.offsets[b];
+  const index_t r1 = stack.offsets[b + 1];
+  std::vector<std::vector<index_t>> sampled(static_cast<std::size_t>(r1 - r0));
+  for (index_t r = r0; r < r1; ++r) {
+    const auto cols = qs.row_cols(r);
+    sampled[static_cast<std::size_t>(r - r0)].assign(cols.begin(), cols.end());
+  }
+  return build_layer_sample(frontier_b, sampled);
+}
+
 GraphSageSampler::GraphSageSampler(const Graph& graph, SamplerConfig config)
     : graph_(graph), config_(std::move(config)) {
   check(!config_.fanouts.empty(), "GraphSageSampler: fanouts must be non-empty");
@@ -35,14 +69,8 @@ std::vector<MinibatchSample> GraphSageSampler::sample_bulk(
     const index_t s = config_.fanouts[static_cast<std::size_t>(l)];
 
     // --- Stack the per-batch Q blocks (Eq. 1): one nonzero per row. ---
-    std::vector<index_t> stacked;
-    std::vector<index_t> block_offset(static_cast<std::size_t>(k) + 1, 0);
-    for (index_t i = 0; i < k; ++i) {
-      const auto& f = frontier[static_cast<std::size_t>(i)];
-      stacked.insert(stacked.end(), f.begin(), f.end());
-      block_offset[static_cast<std::size_t>(i) + 1] = static_cast<index_t>(stacked.size());
-    }
-    const CsrMatrix q = CsrMatrix::one_nonzero_per_row(n, stacked);
+    const FrontierStack stack = stack_frontiers(frontier);
+    const CsrMatrix q = CsrMatrix::one_nonzero_per_row(n, stack.vertices);
 
     // --- Generate probability distributions: P ← Q·A, NORM(P). ---
     CsrMatrix p = spgemm(q, graph_.adjacency());
@@ -50,35 +78,14 @@ std::vector<MinibatchSample> GraphSageSampler::sample_bulk(
 
     // --- SAMPLE(P, b, s) with ITS; seeds keyed by (epoch, batch, layer,
     // local row) so results do not depend on k or the rank layout. ---
-    // Map stacked row -> (batch index, local row) for the seed function.
-    std::vector<index_t> row_batch(static_cast<std::size_t>(stacked.size()));
-    for (index_t i = 0; i < k; ++i) {
-      for (index_t r = block_offset[static_cast<std::size_t>(i)];
-           r < block_offset[static_cast<std::size_t>(i) + 1]; ++r) {
-        row_batch[static_cast<std::size_t>(r)] = i;
-      }
-    }
-    const CsrMatrix qs = its_sample_rows(p, s, [&](index_t row) {
-      const index_t i = row_batch[static_cast<std::size_t>(row)];
-      const index_t local = row - block_offset[static_cast<std::size_t>(i)];
-      return derive_seed(epoch_seed,
-                         static_cast<std::uint64_t>(batch_ids[static_cast<std::size_t>(i)]),
-                         static_cast<std::uint64_t>(l),
-                         static_cast<std::uint64_t>(local));
-    });
+    const CsrMatrix qs =
+        its_sample_rows(p, s, sage_row_seed_fn(stack, batch_ids, 0, l, epoch_seed));
 
     // --- EXTRACT per batch block: renumber sampled columns into the new
     // frontier (row vertices lead, §4.1.3). ---
     for (index_t i = 0; i < k; ++i) {
-      const index_t r0 = block_offset[static_cast<std::size_t>(i)];
-      const index_t r1 = block_offset[static_cast<std::size_t>(i) + 1];
-      std::vector<std::vector<index_t>> sampled(static_cast<std::size_t>(r1 - r0));
-      for (index_t r = r0; r < r1; ++r) {
-        const auto cols = qs.row_cols(r);
-        sampled[static_cast<std::size_t>(r - r0)].assign(cols.begin(), cols.end());
-      }
-      LayerSample layer =
-          build_layer_sample(frontier[static_cast<std::size_t>(i)], sampled);
+      LayerSample layer = sage_extract_layer(qs, stack, static_cast<std::size_t>(i),
+                                             frontier[static_cast<std::size_t>(i)]);
       frontier[static_cast<std::size_t>(i)] = layer.col_vertices;
       out[static_cast<std::size_t>(i)].layers.push_back(std::move(layer));
     }

@@ -9,9 +9,33 @@
 // identical matrix operations on the stacked matrices (§4.1.4).
 #pragma once
 
+#include <cstdint>
+
+#include "core/frontier.hpp"
+#include "core/its.hpp"
 #include "core/sampler.hpp"
 
 namespace dms {
+
+/// Row-seed function for ITS over a stacked P (shared verbatim with the
+/// Graph Partitioned sampler so both execution modes sample bit-identically):
+/// maps a stacked row back to (batch, local row) and derives the (epoch,
+/// global batch id, layer, local row) seed. `first_batch` is the global
+/// index of the stack's first batch within `batch_ids` (0 single-node; the
+/// process row's block start distributed). Inputs are copied into the
+/// returned closure, so it may outlive them.
+RowSeedFn sage_row_seed_fn(const FrontierStack& stack,
+                           const std::vector<index_t>& batch_ids,
+                           index_t first_batch, index_t layer,
+                           std::uint64_t epoch_seed);
+
+/// EXTRACT for one batch of a stacked SAGE sample (§4.1.3): gathers the
+/// sampled columns of stacked rows [offsets[b], offsets[b+1]) of qs and
+/// renumbers them into a LayerSample over `frontier_b` (the batch's current
+/// frontier). Shared by both execution modes.
+LayerSample sage_extract_layer(const CsrMatrix& qs, const FrontierStack& stack,
+                               std::size_t b,
+                               const std::vector<index_t>& frontier_b);
 
 class GraphSageSampler : public MatrixSampler {
  public:

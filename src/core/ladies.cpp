@@ -10,11 +10,8 @@
 
 namespace dms {
 
-namespace {
-
-/// Builds the LADIES Q matrix: one row per batch, indicator of that batch's
-/// current vertex set (§4.2.1).
-CsrMatrix build_indicator_rows(index_t n, const std::vector<std::vector<index_t>>& sets) {
+CsrMatrix ladies_indicator_rows(index_t n,
+                                const std::vector<std::vector<index_t>>& sets) {
   CooMatrix coo(static_cast<index_t>(sets.size()), n);
   for (std::size_t i = 0; i < sets.size(); ++i) {
     for (const index_t v : sets[i]) coo.push(static_cast<index_t>(i), v, 1.0);
@@ -22,15 +19,12 @@ CsrMatrix build_indicator_rows(index_t n, const std::vector<std::vector<index_t>
   return CsrMatrix::from_coo(coo);
 }
 
-/// NORM for LADIES: square every value, then row-normalize (p_v ∝ e_v²).
 void ladies_norm(CsrMatrix& p) {
   for (auto& v : p.mutable_vals()) v = v * v;
   normalize_rows(p);
 }
 
-/// Column-extraction matrix Q_C ∈ {0,1}^{n×s}: one nonzero per column at the
-/// row index of each vertex to extract (§4.2.3).
-CsrMatrix build_column_extractor(index_t n, const std::vector<index_t>& sampled) {
+CsrMatrix ladies_column_extractor(index_t n, const std::vector<index_t>& sampled) {
   CooMatrix coo(n, static_cast<index_t>(sampled.size()));
   for (std::size_t j = 0; j < sampled.size(); ++j) {
     coo.push(sampled[j], static_cast<index_t>(j), 1.0);
@@ -38,10 +32,9 @@ CsrMatrix build_column_extractor(index_t n, const std::vector<index_t>& sampled)
   return CsrMatrix::from_coo(coo);
 }
 
-/// Assembles the LayerSample for one batch from the extracted A_S (rows =
-/// current set, columns = sampled order).
-LayerSample assemble_layer(const std::vector<index_t>& rows,
-                           const std::vector<index_t>& sampled, const CsrMatrix& a_s) {
+LayerSample ladies_assemble_layer(const std::vector<index_t>& rows,
+                                  const std::vector<index_t>& sampled,
+                                  const CsrMatrix& a_s) {
   LayerSample layer;
   layer.row_vertices = rows;
   layer.col_vertices = rows;
@@ -68,8 +61,6 @@ LayerSample assemble_layer(const std::vector<index_t>& rows,
   return layer;
 }
 
-}  // namespace
-
 LadiesSampler::LadiesSampler(const Graph& graph, SamplerConfig config)
     : graph_(graph), config_(std::move(config)) {
   check(!config_.fanouts.empty(), "LadiesSampler: fanouts must be non-empty");
@@ -78,7 +69,7 @@ LadiesSampler::LadiesSampler(const Graph& graph, SamplerConfig config)
 std::vector<value_t> LadiesSampler::probability_vector(
     const std::vector<index_t>& batch) const {
   const index_t n = graph_.num_vertices();
-  const CsrMatrix q = build_indicator_rows(n, {batch});
+  const CsrMatrix q = ladies_indicator_rows(n, {batch});
   CsrMatrix p = spgemm(q, graph_.adjacency());
   ladies_norm(p);
   std::vector<value_t> dense(static_cast<std::size_t>(n), 0.0);
@@ -108,7 +99,7 @@ std::vector<MinibatchSample> LadiesSampler::sample_bulk(
     const index_t s = config_.fanouts[static_cast<std::size_t>(l)];
 
     // --- Probability generation on the stacked Q (one row per batch). ---
-    const CsrMatrix q = build_indicator_rows(n, current);
+    const CsrMatrix q = ladies_indicator_rows(n, current);
     CsrMatrix p = spgemm(q, graph_.adjacency());
     ladies_norm(p);
 
@@ -136,9 +127,9 @@ std::vector<MinibatchSample> LadiesSampler::sample_bulk(
       const auto nrows = static_cast<index_t>(rows.size());
       std::vector<index_t> sampled(qs.row_cols(i).begin(), qs.row_cols(i).end());
       const CsrMatrix ar_i = row_slice(ar, row_offset, row_offset + nrows);
-      const CsrMatrix qc = build_column_extractor(n, sampled);
+      const CsrMatrix qc = ladies_column_extractor(n, sampled);
       const CsrMatrix a_s = spgemm(ar_i, qc);
-      LayerSample layer = assemble_layer(rows, sampled, a_s);
+      LayerSample layer = ladies_assemble_layer(rows, sampled, a_s);
       current[static_cast<std::size_t>(i)] = layer.col_vertices;
       out[static_cast<std::size_t>(i)].layers.push_back(std::move(layer));
       row_offset += nrows;

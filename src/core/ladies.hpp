@@ -17,6 +17,28 @@
 
 namespace dms {
 
+// Deterministic LADIES building blocks, shared verbatim with the Graph
+// Partitioned sampler (src/dist) so both execution modes produce
+// bit-identical minibatches (the determinism contract of the dist tests).
+
+/// The LADIES Q matrix: one row per batch, indicator of that batch's current
+/// vertex set (§4.2.1).
+CsrMatrix ladies_indicator_rows(index_t n,
+                                const std::vector<std::vector<index_t>>& sets);
+
+/// NORM for LADIES: square every value, then row-normalize (p_v ∝ e_v²).
+void ladies_norm(CsrMatrix& p);
+
+/// Column-extraction matrix Q_C ∈ {0,1}^{n×s}: one nonzero per column at the
+/// row index of each vertex to extract (§4.2.3).
+CsrMatrix ladies_column_extractor(index_t n, const std::vector<index_t>& sampled);
+
+/// Assembles the LayerSample for one batch from the extracted A_S (rows =
+/// current set, columns = sampled order).
+LayerSample ladies_assemble_layer(const std::vector<index_t>& rows,
+                                  const std::vector<index_t>& sampled,
+                                  const CsrMatrix& a_s);
+
 class LadiesSampler : public MatrixSampler {
  public:
   LadiesSampler(const Graph& graph, SamplerConfig config);

@@ -41,7 +41,11 @@ struct MinibatchSample {
   std::vector<LayerSample> layers;      ///< [0]=layer L ... [L-1]=layer 1
 
   /// Global vertex ids whose input features are needed (the last frontier).
+  /// Throws DmsError if no layers have been sampled yet.
   const std::vector<index_t>& input_vertices() const {
+    if (layers.empty()) {
+      throw DmsError("MinibatchSample::input_vertices: no sampled layers");
+    }
     return layers.back().col_vertices;
   }
   index_t num_layers() const { return static_cast<index_t>(layers.size()); }

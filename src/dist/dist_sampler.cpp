@@ -1,0 +1,281 @@
+#include "dist/dist_sampler.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/frontier.hpp"
+#include "core/graphsage.hpp"
+#include "core/its.hpp"
+#include "core/ladies.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace dms {
+
+namespace {
+
+/// Runs body(i) for every process row, advancing the cluster clock by the
+/// max measured time. Replicas of a process row perform identical (seeded)
+/// work, so per-row time equals per-rank time.
+template <typename Fn>
+void timed_rows(Cluster& cluster, const char* phase, index_t rows, Fn&& body) {
+  double max_t = 0.0;
+  for (index_t i = 0; i < rows; ++i) {
+    Timer t;
+    body(i);
+    max_t = std::max(max_t, t.seconds());
+  }
+  cluster.add_compute(phase, max_t);
+}
+
+/// A_S = ar_b · Q_C for the sampled columns, computed in column chunks of at
+/// most `chunk` (§8.2.2) so each intermediate CSR product stays small. Every
+/// A_S entry is a single product (the sampled ids are distinct), so the
+/// chunked result is bitwise identical to the monolithic extraction.
+CsrMatrix extract_sampled_columns(const CsrMatrix& ar_b,
+                                  const std::vector<index_t>& sampled, index_t n,
+                                  index_t chunk) {
+  const auto s = static_cast<index_t>(sampled.size());
+  if (s <= chunk) {
+    // Common case (fanout ≤ chunk): single extraction, no COO round-trip.
+    return spgemm(ar_b, ladies_column_extractor(n, sampled));
+  }
+  CooMatrix coo(ar_b.rows(), s);
+  for (index_t j0 = 0; j0 < s; j0 += chunk) {
+    const index_t j1 = std::min(s, j0 + chunk);
+    const std::vector<index_t> sub(sampled.begin() + j0, sampled.begin() + j1);
+    const CsrMatrix qc = ladies_column_extractor(n, sub);
+    const CsrMatrix part = spgemm(ar_b, qc);
+    for (index_t r = 0; r < part.rows(); ++r) {
+      const auto cols = part.row_cols(r);
+      const auto vals = part.row_vals(r);
+      for (std::size_t x = 0; x < cols.size(); ++x) {
+        coo.push(r, j0 + cols[x], vals[x]);
+      }
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+}  // namespace
+
+PartitionedSamplerBase::PartitionedSamplerBase(const Graph& graph,
+                                               const ProcessGrid& grid,
+                                               SamplerConfig config,
+                                               PartitionedSamplerOptions opts,
+                                               const std::string& name)
+    : graph_(graph),
+      grid_(grid),
+      config_(std::move(config)),
+      opts_(opts),
+      dist_adj_(grid, graph.adjacency()) {
+  check(!config_.fanouts.empty(), name + ": fanouts must be non-empty");
+  for (const index_t f : config_.fanouts) {
+    check(f > 0, name + ": fanouts must be positive");
+  }
+  check(opts_.ladies_extract_chunk > 0,
+        name + ": ladies_extract_chunk must be positive");
+}
+
+std::vector<std::vector<MinibatchSample>> PartitionedSamplerBase::sample_bulk(
+    Cluster& cluster, const std::vector<std::vector<index_t>>& batches,
+    const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed) const {
+  check(batches.size() == batch_ids.size(), "sample_bulk: ids/batches mismatch");
+  check(cluster.grid().rows() == grid_.rows() &&
+            cluster.grid().replication() == grid_.replication(),
+        "sample_bulk: cluster grid does not match the sampler's grid");
+  const BlockPartition assign(static_cast<index_t>(batches.size()), grid_.rows());
+  return sample_rows(cluster, assign, batches, batch_ids, epoch_seed);
+}
+
+std::vector<MinibatchSample> PartitionedSamplerBase::sample_bulk(
+    const std::vector<std::vector<index_t>>& batches,
+    const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed) const {
+  std::vector<std::vector<MinibatchSample>> per_row;
+  if (bound_cluster_ != nullptr) {
+    per_row = sample_bulk(*bound_cluster_, batches, batch_ids, epoch_seed);
+  } else {
+    Cluster ephemeral(grid_, CostModel(LinkParams{}));
+    per_row = sample_bulk(ephemeral, batches, batch_ids, epoch_seed);
+  }
+  std::vector<MinibatchSample> flat;
+  flat.reserve(batches.size());
+  for (auto& row : per_row) {
+    for (auto& ms : row) flat.push_back(std::move(ms));
+  }
+  return flat;
+}
+
+PartitionedSageSampler::PartitionedSageSampler(const Graph& graph,
+                                               const ProcessGrid& grid,
+                                               SamplerConfig config,
+                                               PartitionedSamplerOptions opts)
+    : PartitionedSamplerBase(graph, grid, std::move(config), opts,
+                             "PartitionedSageSampler") {}
+
+std::vector<std::vector<MinibatchSample>> PartitionedSageSampler::sample_rows(
+    Cluster& cluster, const BlockPartition& assign,
+    const std::vector<std::vector<index_t>>& batches,
+    const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed) const {
+  const index_t rows = grid_.rows();
+  const index_t n = graph_.num_vertices();
+  const index_t num_layers = config_.num_layers();
+
+  std::vector<std::vector<MinibatchSample>> out(static_cast<std::size_t>(rows));
+  // frontier[i][b]: the current frontier of process row i's b-th minibatch.
+  std::vector<std::vector<std::vector<index_t>>> frontier(
+      static_cast<std::size_t>(rows));
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t g = assign.begin(i); g < assign.end(i); ++g) {
+      MinibatchSample ms;
+      ms.batch_vertices = batches[static_cast<std::size_t>(g)];
+      out[static_cast<std::size_t>(i)].push_back(std::move(ms));
+      frontier[static_cast<std::size_t>(i)].push_back(
+          batches[static_cast<std::size_t>(g)]);
+    }
+  }
+
+  for (index_t l = 0; l < num_layers; ++l) {
+    const index_t s = config_.fanouts[static_cast<std::size_t>(l)];
+
+    // --- Probability generation: per-row stacked Q (Eq. 1) via the shared
+    // SAGE stacking, then the 1.5D SpGEMM and NORM. ---
+    std::vector<CsrMatrix> q_blocks(static_cast<std::size_t>(rows));
+    std::vector<FrontierStack> stacks(static_cast<std::size_t>(rows));
+    timed_rows(cluster, kPhaseProbability, rows, [&](index_t i) {
+      stacks[static_cast<std::size_t>(i)] =
+          stack_frontiers(frontier[static_cast<std::size_t>(i)]);
+      q_blocks[static_cast<std::size_t>(i)] = CsrMatrix::one_nonzero_per_row(
+          n, stacks[static_cast<std::size_t>(i)].vertices);
+    });
+    Spgemm15dOptions sopts;
+    sopts.sparsity_aware = opts_.sparsity_aware;
+    sopts.phase = kPhaseProbability;
+    auto p_blocks = spgemm_15d(cluster, q_blocks, dist_adj_, sopts);
+    timed_rows(cluster, kPhaseProbability, rows, [&](index_t i) {
+      normalize_rows(p_blocks[static_cast<std::size_t>(i)]);
+    });
+
+    // --- SAMPLE: ITS with the shared (epoch, global batch id, layer, local
+    // row) seed derivation, independent of the rank layout. ---
+    std::vector<CsrMatrix> qs(static_cast<std::size_t>(rows));
+    timed_rows(cluster, kPhaseSampling, rows, [&](index_t i) {
+      qs[static_cast<std::size_t>(i)] = its_sample_rows(
+          p_blocks[static_cast<std::size_t>(i)], s,
+          sage_row_seed_fn(stacks[static_cast<std::size_t>(i)], batch_ids,
+                           assign.begin(i), l, epoch_seed));
+    });
+
+    // --- EXTRACT: renumber sampled columns into the next frontier (the
+    // shared §4.1.3 extraction). ---
+    timed_rows(cluster, kPhaseExtraction, rows, [&](index_t i) {
+      auto& row_front = frontier[static_cast<std::size_t>(i)];
+      for (std::size_t b = 0; b < row_front.size(); ++b) {
+        LayerSample layer = sage_extract_layer(
+            qs[static_cast<std::size_t>(i)], stacks[static_cast<std::size_t>(i)], b,
+            row_front[b]);
+        row_front[b] = layer.col_vertices;
+        out[static_cast<std::size_t>(i)][b].layers.push_back(std::move(layer));
+      }
+    });
+  }
+  return out;
+}
+
+PartitionedLadiesSampler::PartitionedLadiesSampler(const Graph& graph,
+                                                   const ProcessGrid& grid,
+                                                   SamplerConfig config,
+                                                   PartitionedSamplerOptions opts)
+    : PartitionedSamplerBase(graph, grid, std::move(config), opts,
+                             "PartitionedLadiesSampler") {}
+
+std::vector<std::vector<MinibatchSample>> PartitionedLadiesSampler::sample_rows(
+    Cluster& cluster, const BlockPartition& assign,
+    const std::vector<std::vector<index_t>>& batches,
+    const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed) const {
+  const index_t rows = grid_.rows();
+  const index_t n = graph_.num_vertices();
+  const index_t num_layers = config_.num_layers();
+
+  std::vector<std::vector<MinibatchSample>> out(static_cast<std::size_t>(rows));
+  // current[i][b]: the current vertex set of process row i's b-th minibatch.
+  std::vector<std::vector<std::vector<index_t>>> current(
+      static_cast<std::size_t>(rows));
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t g = assign.begin(i); g < assign.end(i); ++g) {
+      MinibatchSample ms;
+      ms.batch_vertices = batches[static_cast<std::size_t>(g)];
+      out[static_cast<std::size_t>(i)].push_back(std::move(ms));
+      current[static_cast<std::size_t>(i)].push_back(
+          batches[static_cast<std::size_t>(g)]);
+    }
+  }
+
+  for (index_t l = 0; l < num_layers; ++l) {
+    const index_t s = config_.fanouts[static_cast<std::size_t>(l)];
+
+    // --- Probability generation: indicator Q (one row per batch), 1.5D
+    // SpGEMM, then the LADIES NORM (p_v ∝ e_v²). ---
+    std::vector<CsrMatrix> q_blocks(static_cast<std::size_t>(rows));
+    timed_rows(cluster, kPhaseProbability, rows, [&](index_t i) {
+      q_blocks[static_cast<std::size_t>(i)] =
+          ladies_indicator_rows(n, current[static_cast<std::size_t>(i)]);
+    });
+    Spgemm15dOptions sopts;
+    sopts.sparsity_aware = opts_.sparsity_aware;
+    sopts.phase = kPhaseProbability;
+    auto p_blocks = spgemm_15d(cluster, q_blocks, dist_adj_, sopts);
+    timed_rows(cluster, kPhaseProbability, rows, [&](index_t i) {
+      ladies_norm(p_blocks[static_cast<std::size_t>(i)]);
+    });
+
+    // --- SAMPLE: s vertices per batch row. ---
+    std::vector<CsrMatrix> qs(static_cast<std::size_t>(rows));
+    timed_rows(cluster, kPhaseSampling, rows, [&](index_t i) {
+      qs[static_cast<std::size_t>(i)] =
+          its_sample_rows(p_blocks[static_cast<std::size_t>(i)], s, [&](index_t row) {
+            const index_t g = assign.begin(i) + row;
+            return derive_seed(
+                epoch_seed,
+                static_cast<std::uint64_t>(batch_ids[static_cast<std::size_t>(g)]),
+                static_cast<std::uint64_t>(l), 0);
+          });
+    });
+
+    // --- EXTRACT: distributed row-extraction SpGEMM on the stacked Q_R,
+    // then per-batch chunked column extraction (§4.2.3, §8.2.2). ---
+    std::vector<CsrMatrix> qr_blocks(static_cast<std::size_t>(rows));
+    std::vector<FrontierStack> stacks(static_cast<std::size_t>(rows));
+    timed_rows(cluster, kPhaseExtraction, rows, [&](index_t i) {
+      stacks[static_cast<std::size_t>(i)] =
+          stack_frontiers(current[static_cast<std::size_t>(i)]);
+      qr_blocks[static_cast<std::size_t>(i)] = CsrMatrix::one_nonzero_per_row(
+          n, stacks[static_cast<std::size_t>(i)].vertices);
+    });
+    Spgemm15dOptions xopts;
+    xopts.sparsity_aware = opts_.sparsity_aware;
+    xopts.phase = kPhaseExtraction;
+    const auto ar_blocks = spgemm_15d(cluster, qr_blocks, dist_adj_, xopts);
+    timed_rows(cluster, kPhaseExtraction, rows, [&](index_t i) {
+      const auto& off = stacks[static_cast<std::size_t>(i)].offsets;
+      auto& row_cur = current[static_cast<std::size_t>(i)];
+      for (std::size_t b = 0; b < row_cur.size(); ++b) {
+        const auto cols =
+            qs[static_cast<std::size_t>(i)].row_cols(static_cast<index_t>(b));
+        const std::vector<index_t> sampled(cols.begin(), cols.end());
+        const CsrMatrix ar_b =
+            row_slice(ar_blocks[static_cast<std::size_t>(i)], off[b], off[b + 1]);
+        const CsrMatrix a_s =
+            extract_sampled_columns(ar_b, sampled, n, opts_.ladies_extract_chunk);
+        LayerSample layer = ladies_assemble_layer(row_cur[b], sampled, a_s);
+        row_cur[b] = layer.col_vertices;
+        out[static_cast<std::size_t>(i)][b].layers.push_back(std::move(layer));
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace dms

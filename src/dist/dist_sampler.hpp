@@ -1,0 +1,129 @@
+// Graph Partitioned matrix-based samplers (§5.2): the adjacency is
+// block-row partitioned over a 1.5D process grid (it no longer needs to fit
+// on one device) and every sampling step of Algorithm 1 runs as a
+// distributed sparse primitive — probability generation and LADIES row
+// extraction through the 1.5D SpGEMM of Algorithm 2, sampling and layer
+// assembly row-locally.
+//
+// Determinism contract: randomness is derived per (epoch, global batch id,
+// layer, local row), never from the rank layout, so a Graph Partitioned run
+// produces bit-identical minibatches to the single-node sampler of src/core
+// for every grid shape, chunk size, and sparsity mode. (All probability
+// values are exact small-integer arithmetic before normalization, so the
+// distributed reduction order cannot perturb them.) The dist tests sweep
+// grids to enforce this.
+//
+// Phase accounting matches Figure 7: kPhaseProbability / kPhaseSampling /
+// kPhaseExtraction compute and communication are recorded on the Cluster.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "core/sampler.hpp"
+#include "dist/spgemm_15d.hpp"
+
+namespace dms {
+
+inline constexpr const char* kPhaseProbability = "probability";
+inline constexpr const char* kPhaseSampling = "sampling";
+inline constexpr const char* kPhaseExtraction = "extraction";
+
+struct PartitionedSamplerOptions {
+  /// Use the sparsity-aware 1.5D SpGEMM variant (§5.2.1; Ballard et al.)
+  /// instead of broadcasting whole A block rows.
+  bool sparsity_aware = true;
+  /// §8.2.2: the LADIES column extraction is split into chunks of at most
+  /// this many sampled columns so the intermediate CSR products stay small.
+  /// A memory optimization only — results are identical for every value.
+  index_t ladies_extract_chunk = 4096;
+};
+
+/// Common machinery of the Graph Partitioned samplers: batch-to-process-row
+/// assignment, the distributed adjacency, and the MatrixSampler conformance
+/// that lets the factory treat partitioned samplers uniformly.
+class PartitionedSamplerBase : public MatrixSampler {
+ public:
+  /// Distributed bulk sampling. Minibatches are assigned to process rows in
+  /// contiguous blocks (BlockPartition of the batch list); the return value
+  /// holds each process row's samples, so concatenating the rows restores
+  /// global batch order. Phase times and communication volumes are recorded
+  /// on `cluster`, whose grid must match the grid this sampler was built for.
+  std::vector<std::vector<MinibatchSample>> sample_bulk(
+      Cluster& cluster, const std::vector<std::vector<index_t>>& batches,
+      const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed) const;
+
+  /// MatrixSampler conformance: runs the distributed algorithm on the bound
+  /// cluster (see bind_cluster) or an ephemeral one, and flattens the
+  /// per-row results back to global batch order. By the determinism
+  /// contract the output equals the single-node sampler's.
+  std::vector<MinibatchSample> sample_bulk(
+      const std::vector<std::vector<index_t>>& batches,
+      const std::vector<index_t>& batch_ids,
+      std::uint64_t epoch_seed) const override;
+
+  const SamplerConfig& config() const override { return config_; }
+  const ProcessGrid& grid() const { return grid_; }
+  const PartitionedSamplerOptions& options() const { return opts_; }
+
+  /// The block-row distributed adjacency (per-rank memory accounting).
+  const DistBlockRowMatrix& dist_adjacency() const { return dist_adj_; }
+
+  /// Binds a long-lived cluster that the MatrixSampler-interface
+  /// sample_bulk records phases on (factory wiring). nullptr unbinds; an
+  /// ephemeral cluster of the sampler's grid is then used instead.
+  void bind_cluster(Cluster* cluster) { bound_cluster_ = cluster; }
+
+ protected:
+  /// The graph must outlive the sampler (topology is borrowed; the
+  /// distributed block rows are materialized once at construction).
+  PartitionedSamplerBase(const Graph& graph, const ProcessGrid& grid,
+                         SamplerConfig config, PartitionedSamplerOptions opts,
+                         const std::string& name);
+
+  /// Algorithm body. `assign` maps global batch index -> owning process row.
+  virtual std::vector<std::vector<MinibatchSample>> sample_rows(
+      Cluster& cluster, const BlockPartition& assign,
+      const std::vector<std::vector<index_t>>& batches,
+      const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed) const = 0;
+
+  const Graph& graph_;
+  ProcessGrid grid_;
+  SamplerConfig config_;
+  PartitionedSamplerOptions opts_;
+  DistBlockRowMatrix dist_adj_;
+  Cluster* bound_cluster_ = nullptr;
+};
+
+/// Graph Partitioned GraphSAGE (§5.2 with the §4.1 constructions).
+class PartitionedSageSampler : public PartitionedSamplerBase {
+ public:
+  PartitionedSageSampler(const Graph& graph, const ProcessGrid& grid,
+                         SamplerConfig config, PartitionedSamplerOptions opts = {});
+
+ protected:
+  std::vector<std::vector<MinibatchSample>> sample_rows(
+      Cluster& cluster, const BlockPartition& assign,
+      const std::vector<std::vector<index_t>>& batches,
+      const std::vector<index_t>& batch_ids,
+      std::uint64_t epoch_seed) const override;
+};
+
+/// Graph Partitioned LADIES (§5.2 with the §4.2 constructions) — per the
+/// paper, the first fully distributed LADIES implementation.
+class PartitionedLadiesSampler : public PartitionedSamplerBase {
+ public:
+  PartitionedLadiesSampler(const Graph& graph, const ProcessGrid& grid,
+                           SamplerConfig config,
+                           PartitionedSamplerOptions opts = {});
+
+ protected:
+  std::vector<std::vector<MinibatchSample>> sample_rows(
+      Cluster& cluster, const BlockPartition& assign,
+      const std::vector<std::vector<index_t>>& batches,
+      const std::vector<index_t>& batch_ids,
+      std::uint64_t epoch_seed) const override;
+};
+
+}  // namespace dms

@@ -1,0 +1,143 @@
+#include "dist/sampler_factory.hpp"
+
+#include "core/fastgcn.hpp"
+#include "core/graphsage.hpp"
+#include "core/ladies.hpp"
+
+namespace dms {
+
+std::string to_string(SamplerKind kind) {
+  switch (kind) {
+    case SamplerKind::kGraphSage:
+      return "graphsage";
+    case SamplerKind::kLadies:
+      return "ladies";
+    case SamplerKind::kFastGcn:
+      return "fastgcn";
+  }
+  return "unknown";
+}
+
+std::string to_string(DistMode mode) {
+  switch (mode) {
+    case DistMode::kReplicated:
+      return "replicated";
+    case DistMode::kPartitioned:
+      return "partitioned";
+  }
+  return "unknown";
+}
+
+namespace {
+
+const ProcessGrid& require_grid(const SamplerContext& ctx, const char* what) {
+  check(ctx.grid != nullptr,
+        std::string("make_sampler: ") + what + " requires SamplerContext::grid");
+  return *ctx.grid;
+}
+
+template <typename Partitioned>
+std::unique_ptr<MatrixSampler> make_partitioned(const Graph& graph,
+                                                const SamplerContext& ctx,
+                                                const char* what) {
+  auto sampler = std::make_unique<Partitioned>(graph, require_grid(ctx, what),
+                                               ctx.config, ctx.part_opts);
+  sampler->bind_cluster(ctx.cluster);
+  return sampler;
+}
+
+}  // namespace
+
+SamplerRegistry::SamplerRegistry() {
+  register_creator(SamplerKind::kGraphSage, DistMode::kReplicated,
+                   [](const Graph& g, const SamplerContext& ctx) {
+                     return std::make_unique<GraphSageSampler>(g, ctx.config);
+                   });
+  register_creator(SamplerKind::kLadies, DistMode::kReplicated,
+                   [](const Graph& g, const SamplerContext& ctx) {
+                     return std::make_unique<LadiesSampler>(g, ctx.config);
+                   });
+  register_creator(SamplerKind::kFastGcn, DistMode::kReplicated,
+                   [](const Graph& g, const SamplerContext& ctx) {
+                     return std::make_unique<FastGcnSampler>(g, ctx.config);
+                   });
+  register_creator(SamplerKind::kGraphSage, DistMode::kPartitioned,
+                   [](const Graph& g, const SamplerContext& ctx) {
+                     return make_partitioned<PartitionedSageSampler>(
+                         g, ctx, "partitioned graphsage");
+                   });
+  register_creator(SamplerKind::kLadies, DistMode::kPartitioned,
+                   [](const Graph& g, const SamplerContext& ctx) {
+                     return make_partitioned<PartitionedLadiesSampler>(
+                         g, ctx, "partitioned ladies");
+                   });
+  // Partitioned FastGCN is deliberately unregistered: its batch-independent
+  // distribution needs a different distributed formulation (ROADMAP item).
+}
+
+SamplerRegistry& SamplerRegistry::instance() {
+  static SamplerRegistry registry;
+  return registry;
+}
+
+SamplerCreator SamplerRegistry::register_creator(SamplerKind kind, DistMode mode,
+                                                 SamplerCreator creator) {
+  // An empty creator unregisters the slot, so restoring a previously-empty
+  // creator returned by this function round-trips cleanly.
+  if (!creator) {
+    const auto it = creators_.find({kind, mode});
+    if (it == creators_.end()) return {};
+    SamplerCreator previous = std::move(it->second);
+    creators_.erase(it);
+    return previous;
+  }
+  auto& slot = creators_[{kind, mode}];
+  SamplerCreator previous = std::move(slot);
+  slot = std::move(creator);
+  return previous;
+}
+
+void SamplerRegistry::unregister(SamplerKind kind, DistMode mode) {
+  creators_.erase({kind, mode});
+}
+
+bool SamplerRegistry::contains(SamplerKind kind, DistMode mode) const {
+  return creators_.count({kind, mode}) > 0;
+}
+
+std::vector<std::pair<SamplerKind, DistMode>> SamplerRegistry::registered() const {
+  std::vector<std::pair<SamplerKind, DistMode>> out;
+  out.reserve(creators_.size());
+  for (const auto& [key, _] : creators_) out.push_back(key);
+  return out;
+}
+
+std::unique_ptr<MatrixSampler> SamplerRegistry::create(
+    SamplerKind kind, DistMode mode, const Graph& graph,
+    const SamplerContext& ctx) const {
+  const auto it = creators_.find({kind, mode});
+  check(it != creators_.end(), "make_sampler: no sampler registered for (" +
+                                   to_string(kind) + ", " + to_string(mode) + ")");
+  return it->second(graph, ctx);
+}
+
+std::unique_ptr<MatrixSampler> make_sampler(SamplerKind kind, DistMode mode,
+                                            const Graph& graph,
+                                            const SamplerContext& ctx) {
+  return SamplerRegistry::instance().create(kind, mode, graph, ctx);
+}
+
+std::unique_ptr<MatrixSampler> make_sampler(SamplerKind kind, const Graph& graph,
+                                            const SamplerConfig& config) {
+  SamplerContext ctx;
+  ctx.config = config;
+  return make_sampler(kind, DistMode::kReplicated, graph, ctx);
+}
+
+PartitionedSamplerBase& as_partitioned(MatrixSampler& sampler) {
+  auto* part = dynamic_cast<PartitionedSamplerBase*>(&sampler);
+  check(part != nullptr, "as_partitioned: sampler is not a partitioned sampler");
+  return *part;
+}
+
+}  // namespace dms

@@ -1,0 +1,95 @@
+// Unified sampler construction: one factory surface over every sampling
+// algorithm (SamplerKind) × execution mode (DistMode) combination.
+//
+// Call sites — the training pipeline, benches, and examples — never name a
+// concrete sampler class; they ask the registry for (kind, mode) and get a
+// MatrixSampler. Partitioned samplers conform to the same interface (the
+// determinism contract makes a partitioned run substitutable for a
+// single-node one), and call sites that drive the distributed API directly
+// downcast through as_partitioned().
+//
+// The registry is extensible at runtime: a new algorithm or execution mode
+// registers a creator under its (kind, mode) key and every call site picks
+// it up without modification (the samgraph/fgnn-style uniform construction
+// surface).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sampler.hpp"
+#include "dist/dist_sampler.hpp"
+
+namespace dms {
+
+enum class SamplerKind { kGraphSage, kLadies, kFastGcn };
+enum class DistMode { kReplicated, kPartitioned };
+
+std::string to_string(SamplerKind kind);
+std::string to_string(DistMode mode);
+
+/// Everything a sampler creator may need beyond the graph.
+struct SamplerContext {
+  SamplerConfig config;
+  /// Partitioned modes: the process grid to partition over (required).
+  const ProcessGrid* grid = nullptr;
+  PartitionedSamplerOptions part_opts;
+  /// Optional long-lived cluster bound to partitioned samplers so their
+  /// MatrixSampler::sample_bulk records phases on it.
+  Cluster* cluster = nullptr;
+};
+
+using SamplerCreator = std::function<std::unique_ptr<MatrixSampler>(
+    const Graph& graph, const SamplerContext& ctx)>;
+
+/// Registry mapping (kind, mode) → creator, seeded with the built-in
+/// samplers (SAGE/LADIES in both modes, FastGCN replicated).
+class SamplerRegistry {
+ public:
+  static SamplerRegistry& instance();
+
+  /// Registers (or replaces) the creator for a combination; returns the
+  /// previous creator so callers can restore it (empty if none). Passing an
+  /// empty creator unregisters the combination, so restoring an empty
+  /// previous creator round-trips.
+  SamplerCreator register_creator(SamplerKind kind, DistMode mode,
+                                  SamplerCreator creator);
+
+  /// Removes a combination (no-op if absent).
+  void unregister(SamplerKind kind, DistMode mode);
+
+  bool contains(SamplerKind kind, DistMode mode) const;
+
+  /// Registered combinations, deterministic order.
+  std::vector<std::pair<SamplerKind, DistMode>> registered() const;
+
+  /// Constructs a sampler; throws DmsError for unregistered combinations
+  /// (e.g. partitioned FastGCN) or a missing grid in partitioned modes.
+  std::unique_ptr<MatrixSampler> create(SamplerKind kind, DistMode mode,
+                                        const Graph& graph,
+                                        const SamplerContext& ctx) const;
+
+ private:
+  SamplerRegistry();
+  std::map<std::pair<SamplerKind, DistMode>, SamplerCreator> creators_;
+};
+
+/// The single construction surface for every sampler in the system.
+std::unique_ptr<MatrixSampler> make_sampler(SamplerKind kind, DistMode mode,
+                                            const Graph& graph,
+                                            const SamplerContext& ctx);
+
+/// Replicated (single-device) convenience overload.
+std::unique_ptr<MatrixSampler> make_sampler(SamplerKind kind, const Graph& graph,
+                                            const SamplerConfig& config);
+
+/// Downcast for call sites that drive the distributed bulk API or need
+/// per-rank memory accounting; throws DmsError if `sampler` is not a
+/// partitioned sampler.
+PartitionedSamplerBase& as_partitioned(MatrixSampler& sampler);
+
+}  // namespace dms

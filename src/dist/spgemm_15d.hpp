@@ -1,0 +1,92 @@
+// 1.5D distributed SpGEMM (Algorithm 2, §5.2): P ← Q·A where both operands
+// are block-row partitioned over the p/c process rows of a 1.5D grid and
+// block row i is replicated on the c ranks of process row P(i, :).
+//
+// The p/c block rows of A are processed in chunked rounds: the c ranks of a
+// process row split the block rows among themselves (each rank handles
+// ⌈(p/c)/c⌉ rounds), receive the A block assigned to the current round from
+// its owner inside their process column, multiply it against the matching
+// column panel of their local Q block, and finally all-reduce the partial
+// products across the process row — the T_prob = α(p/c² + log c) +
+// β(kbd/c + ckbd/p) structure of §5.2.1.
+//
+// Two data-movement variants are provided (§5.2.1):
+//  - sparsity-oblivious (Koanantakool et al.): whole A block rows are
+//    broadcast down each process column;
+//  - sparsity-aware (Ballard et al.): each rank first sends the list
+//    NnzCols(Qˡ_ik) of A-rows its panel actually touches, and the owner
+//    replies with exactly those rows.
+// Both variants produce bit-identical products (the per-entry accumulation
+// order is unchanged); only the communication volume differs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "graph/partition.hpp"
+#include "sparse/csr.hpp"
+
+namespace dms {
+
+/// Block-row distributed sparse matrix: rows split into grid.rows() balanced
+/// contiguous blocks; block i lives on (is replicated over) process row
+/// P(i, :), so each process column holds the entire matrix.
+class DistBlockRowMatrix {
+ public:
+  /// Partitions `global` into grid.rows() block rows.
+  DistBlockRowMatrix(const ProcessGrid& grid, const CsrMatrix& global);
+
+  index_t rows() const { return part_.total(); }
+  index_t cols() const { return cols_; }
+  index_t num_blocks() const { return part_.parts(); }
+  const BlockPartition& partition() const { return part_; }
+
+  /// Local block of process row i (rows partition().begin(i)..end(i)).
+  const CsrMatrix& block(index_t i) const {
+    return blocks_[static_cast<std::size_t>(i)];
+  }
+
+  /// Bytes a rank in process row i stores for this matrix.
+  std::size_t block_bytes(index_t i) const {
+    return blocks_[static_cast<std::size_t>(i)].bytes();
+  }
+
+  /// Reassembles the global matrix (tests / debugging).
+  CsrMatrix gather() const;
+
+ private:
+  BlockPartition part_;
+  index_t cols_ = 0;
+  std::vector<CsrMatrix> blocks_;
+};
+
+struct Spgemm15dOptions {
+  /// Ship only the A-rows that nonzero columns of each Q panel touch
+  /// (Algorithm 2 line 4) instead of broadcasting whole block rows.
+  bool sparsity_aware = true;
+  /// Phase name under which compute/comm time is recorded on the Cluster.
+  std::string phase = "spgemm_15d";
+};
+
+/// Exact communication volumes of one spgemm_15d call (Figure 7 analysis
+/// and the sparsity-aware ablation).
+struct Spgemm15dStats {
+  std::size_t row_data_bytes = 0;   ///< A-row payload shipped between ranks
+  std::size_t id_bytes = 0;         ///< row-id request lists (aware only)
+  std::size_t allreduce_bytes = 0;  ///< partial-product reduction volume
+  std::size_t messages = 0;
+  std::size_t rounds = 0;           ///< chunked broadcast rounds executed
+};
+
+/// Computes P = Q·A on the cluster. q_blocks[i] is process row i's block of
+/// Q (any row count, cols == a.rows()); the result is returned in the same
+/// block-row layout (result[i] replicated on process row i). Compute and
+/// communication time/volume are recorded on `cluster` under opts.phase.
+std::vector<CsrMatrix> spgemm_15d(Cluster& cluster,
+                                  const std::vector<CsrMatrix>& q_blocks,
+                                  const DistBlockRowMatrix& a,
+                                  const Spgemm15dOptions& opts = {},
+                                  Spgemm15dStats* stats = nullptr);
+
+}  // namespace dms

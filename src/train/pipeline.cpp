@@ -4,9 +4,6 @@
 
 #include "common/rng.hpp"
 #include "common/timer.hpp"
-#include "core/fastgcn.hpp"
-#include "core/graphsage.hpp"
-#include "core/ladies.hpp"
 #include "core/minibatch.hpp"
 #include "graph/partition.hpp"
 
@@ -37,32 +34,17 @@ Pipeline::Pipeline(Cluster& cluster, const Dataset& dataset, PipelineConfig conf
       features_(cluster.grid(), dataset.features),
       model_(make_model_config(dataset, cfg_)) {
   check(!cfg_.fanouts.empty(), "Pipeline: fanouts must be non-empty");
-  const SamplerConfig sc{cfg_.fanouts, cfg_.seed};
-  if (cfg_.mode == DistMode::kReplicated) {
-    switch (cfg_.sampler) {
-      case SamplerKind::kGraphSage:
-        local_sampler_ = std::make_unique<GraphSageSampler>(ds_.graph, sc);
-        break;
-      case SamplerKind::kLadies:
-        local_sampler_ = std::make_unique<LadiesSampler>(ds_.graph, sc);
-        break;
-      case SamplerKind::kFastGcn:
-        local_sampler_ = std::make_unique<FastGcnSampler>(ds_.graph, sc);
-        break;
-    }
-  } else {
-    switch (cfg_.sampler) {
-      case SamplerKind::kGraphSage:
-        part_sage_ = std::make_unique<PartitionedSageSampler>(
-            ds_.graph, cluster_.grid(), sc, cfg_.part_opts);
-        break;
-      case SamplerKind::kLadies:
-        part_ladies_ = std::make_unique<PartitionedLadiesSampler>(
-            ds_.graph, cluster_.grid(), sc, cfg_.part_opts);
-        break;
-      case SamplerKind::kFastGcn:
-        throw DmsError("Pipeline: partitioned FastGCN not implemented");
-    }
+  SamplerContext ctx;
+  ctx.config = SamplerConfig{cfg_.fanouts, cfg_.seed};
+  ctx.grid = &cluster_.grid();
+  ctx.part_opts = cfg_.part_opts;
+  // sample_epoch drives the cluster-explicit distributed API itself; the
+  // binding only ensures that any generic MatrixSampler use of sampler_
+  // records its phases on this pipeline's clock rather than an ephemeral one.
+  ctx.cluster = &cluster_;
+  sampler_ = make_sampler(cfg_.sampler, cfg_.mode, ds_.graph, ctx);
+  if (cfg_.mode == DistMode::kPartitioned) {
+    partitioned_ = &as_partitioned(*sampler_);
   }
   optimizer_ = cfg_.use_adam
                    ? std::unique_ptr<Optimizer>(std::make_unique<Adam>(cfg_.lr))
@@ -94,7 +76,7 @@ std::vector<std::vector<MinibatchSample>> Pipeline::sample_epoch(
                                                 batches.begin() + b1);
         std::vector<index_t> ids(static_cast<std::size_t>(b1 - b0));
         for (index_t b = b0; b < b1; ++b) ids[static_cast<std::size_t>(b - b0)] = b;
-        auto samples = local_sampler_->sample_bulk(chunk, ids, epoch_seed);
+        auto samples = sampler_->sample_bulk(chunk, ids, epoch_seed);
         for (auto& s : samples) per_rank[static_cast<std::size_t>(r)].push_back(std::move(s));
         ++rounds;
       }
@@ -113,12 +95,7 @@ std::vector<std::vector<MinibatchSample>> Pipeline::sample_epoch(
   // replicas split its minibatches for training.
   std::vector<index_t> ids(static_cast<std::size_t>(k_total));
   for (index_t b = 0; b < k_total; ++b) ids[static_cast<std::size_t>(b)] = b;
-  std::vector<std::vector<MinibatchSample>> per_row;
-  if (part_sage_ != nullptr) {
-    per_row = part_sage_->sample_bulk(cluster_, batches, ids, epoch_seed);
-  } else {
-    per_row = part_ladies_->sample_bulk(cluster_, batches, ids, epoch_seed);
-  }
+  auto per_row = partitioned_->sample_bulk(cluster_, batches, ids, epoch_seed);
   cluster_.add_overhead(kPhaseSampling,
                         launch * kKernelsPerLayer * num_layers);
   const ProcessGrid& grid = cluster_.grid();
@@ -217,18 +194,7 @@ double Pipeline::evaluate(const std::vector<index_t>& idx,
   check(eval_fanouts.size() == cfg_.fanouts.size(),
         "evaluate: eval fanout depth must match the model");
   const SamplerConfig sc{eval_fanouts, derive_seed(cfg_.seed, 0xe1a1)};
-  std::unique_ptr<MatrixSampler> sampler;
-  switch (cfg_.sampler) {
-    case SamplerKind::kGraphSage:
-      sampler = std::make_unique<GraphSageSampler>(ds_.graph, sc);
-      break;
-    case SamplerKind::kLadies:
-      sampler = std::make_unique<LadiesSampler>(ds_.graph, sc);
-      break;
-    case SamplerKind::kFastGcn:
-      sampler = std::make_unique<FastGcnSampler>(ds_.graph, sc);
-      break;
-  }
+  const auto sampler = make_sampler(cfg_.sampler, ds_.graph, sc);
   index_t correct = 0;
   const auto total = static_cast<index_t>(idx.size());
   index_t batch_id = 0;
@@ -262,12 +228,10 @@ std::size_t Pipeline::per_rank_bytes(int rank) const {
   const ProcessGrid& grid = cluster_.grid();
   std::size_t bytes = model_.param_bytes();
   bytes += features_.block_bytes(grid.row_of(rank));
-  if (cfg_.mode == DistMode::kReplicated) {
+  if (partitioned_ != nullptr) {
+    bytes += partitioned_->dist_adjacency().block_bytes(grid.row_of(rank));
+  } else {
     bytes += ds_.graph.adjacency().bytes();
-  } else if (part_sage_ != nullptr) {
-    bytes += part_sage_->dist_adjacency().block_bytes(grid.row_of(rank));
-  } else if (part_ladies_ != nullptr) {
-    bytes += part_ladies_->dist_adjacency().block_bytes(grid.row_of(rank));
   }
   return bytes;
 }

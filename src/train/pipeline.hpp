@@ -14,15 +14,12 @@
 
 #include "comm/cluster.hpp"
 #include "core/sampler.hpp"
-#include "dist/dist_sampler.hpp"
+#include "dist/sampler_factory.hpp"
 #include "graph/dataset.hpp"
 #include "nn/model.hpp"
 #include "train/feature_store.hpp"
 
 namespace dms {
-
-enum class SamplerKind { kGraphSage, kLadies, kFastGcn };
-enum class DistMode { kReplicated, kPartitioned };
 
 struct PipelineConfig {
   SamplerKind sampler = SamplerKind::kGraphSage;
@@ -85,9 +82,11 @@ class Pipeline {
   const Dataset& ds_;
   PipelineConfig cfg_;
   FeatureStore features_;
-  std::unique_ptr<MatrixSampler> local_sampler_;            // replicated mode
-  std::unique_ptr<PartitionedSageSampler> part_sage_;       // partitioned mode
-  std::unique_ptr<PartitionedLadiesSampler> part_ladies_;
+  /// Constructed through make_sampler (the factory is the only construction
+  /// path for samplers in the pipeline).
+  std::unique_ptr<MatrixSampler> sampler_;
+  /// Non-owning distributed view of sampler_ when mode == kPartitioned.
+  PartitionedSamplerBase* partitioned_ = nullptr;
   SageModel model_;
   std::unique_ptr<Optimizer> optimizer_;
 };

@@ -57,6 +57,22 @@ TEST(Frontier, MismatchedRowsThrow) {
   EXPECT_THROW(build_layer_sample({1}, {{2}, {3}}), DmsError);
 }
 
+TEST(MinibatchSample, InputVerticesThrowsOnEmptyLayers) {
+  // Regression: used to read layers.back() of an empty vector (UB).
+  MinibatchSample ms;
+  ms.batch_vertices = {1, 2};
+  EXPECT_THROW(ms.input_vertices(), DmsError);
+}
+
+TEST(MinibatchSample, InputVerticesReturnsLastFrontier) {
+  MinibatchSample ms;
+  ms.layers.emplace_back();
+  ms.layers.back().col_vertices = {4, 5};
+  ms.layers.emplace_back();
+  ms.layers.back().col_vertices = {7, 8, 9};
+  EXPECT_EQ(ms.input_vertices(), (std::vector<index_t>{7, 8, 9}));
+}
+
 TEST(ThreadPool, ParallelForCoversRange) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(100);
