@@ -107,4 +107,40 @@ inline std::string fmt(double v, int prec = 3) {
   return buf;
 }
 
+// --- CSV output conventions -------------------------------------------------
+// Machine-readable bench output feeding the BENCH_*.json trajectories: a
+// bench mode that wants its numbers tracked writes one CSV file with a fixed
+// header row and one data row per (case, kernel) measurement. Conventions:
+//  - the first two columns are `bench` (binary + mode, e.g.
+//    "micro_spgemm.kernel_compare") and `case` (workload shape id);
+//  - times are reported in milliseconds as `*_ms` columns, throughput as
+//    multiply-adds per second in `flops_per_sec`, speedups as plain ratios;
+//  - downstream tooling keys rows on (bench, case, kernel), so those values
+//    must be stable across runs and machines.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, const std::vector<std::string>& header)
+      : f_(std::fopen(path.c_str(), "w")) {
+    if (f_ != nullptr) row(header);
+  }
+  ~CsvWriter() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+
+  void row(const std::vector<std::string>& cells) {
+    if (f_ == nullptr) return;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::fprintf(f_, "%s%s", i == 0 ? "" : ",", cells[i].c_str());
+    }
+    std::fprintf(f_, "\n");
+  }
+
+ private:
+  std::FILE* f_;
+};
+
 }  // namespace dms::bench

@@ -9,7 +9,7 @@
 #include "core/graphsage.hpp"
 #include "core/ladies.hpp"
 #include "sparse/ops.hpp"
-#include "sparse/spgemm.hpp"
+#include "sparse/spgemm_engine.hpp"
 
 using namespace dms;
 

@@ -1,11 +1,14 @@
 #include "baselines/ladies_cpu.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/its.hpp"
 #include "sparse/coo.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/spgemm_engine.hpp"
 
 namespace dms {
 
@@ -48,7 +51,11 @@ LadiesCpuResult ladies_cpu_reference(const Graph& graph,
     }
     for (const index_t v : touched) counts[static_cast<std::size_t>(v)] = 0.0;
 
-    // Collect batch→sampled edges (second adjacency walk).
+    // Collect batch→sampled edges. The frontier numbering stays loop-built
+    // (batch first, then sampled in pick order), but the edge gather rides
+    // the engine's masked extraction A[batch, :][:, sorted(sampled)] — the
+    // same kernel the matrix samplers use — instead of a second adjacency
+    // walk. The edge set, and hence the output, is unchanged.
     LayerSample layer;
     layer.row_vertices = batch;
     layer.col_vertices = batch;
@@ -62,14 +69,15 @@ LadiesCpuResult ladies_cpu_reference(const Graph& graph,
       if (inserted) layer.col_vertices.push_back(v);
       sampled_pos.emplace(v, it->second);
     }
+    std::vector<index_t> mask = sampled;  // distinct; sort for the mask contract
+    std::sort(mask.begin(), mask.end());
+    const CsrMatrix a_s =
+        spgemm_masked(extract_rows(graph.adjacency(), batch), mask);
     CooMatrix coo(static_cast<index_t>(batch.size()),
                   static_cast<index_t>(layer.col_vertices.size()));
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      for (const index_t v : graph.adjacency().row_cols(batch[i])) {
-        const auto it = sampled_pos.find(v);
-        if (it != sampled_pos.end()) {
-          coo.push(static_cast<index_t>(i), it->second, 1.0);
-        }
+    for (index_t r = 0; r < a_s.rows(); ++r) {
+      for (const index_t c : a_s.row_cols(r)) {
+        coo.push(r, sampled_pos.at(mask[static_cast<std::size_t>(c)]), 1.0);
       }
     }
     layer.adj = CsrMatrix::from_coo(coo);

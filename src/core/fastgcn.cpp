@@ -7,7 +7,7 @@
 #include "core/its.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/ops.hpp"
-#include "sparse/spgemm.hpp"
+#include "sparse/spgemm_engine.hpp"
 
 namespace dms {
 
@@ -54,16 +54,15 @@ std::vector<MinibatchSample> FastGcnSampler::sample_bulk(
                      &sampled);
 
       // EXTRACT: edges between the current set and the sampled set, via the
-      // same row/column-extraction SpGEMMs as LADIES (§4.2.3).
+      // same fused masked-extraction SpGEMM as LADIES (§4.2.3). The engine
+      // computes only the sampled columns of Qᵣ·A; its_sample_one returns
+      // ascending distinct ids, satisfying the mask contract, and column j
+      // of A_S maps to sampled[j] exactly as the old Q_C product did.
       const auto& rows = current[static_cast<std::size_t>(i)];
       const CsrMatrix qr = CsrMatrix::one_nonzero_per_row(n, rows);
-      const CsrMatrix ar = spgemm(qr, graph_.adjacency());
-
-      CooMatrix qc_coo(n, static_cast<index_t>(sampled.size()));
-      for (std::size_t j = 0; j < sampled.size(); ++j) {
-        qc_coo.push(sampled[j], static_cast<index_t>(j), 1.0);
-      }
-      const CsrMatrix a_s = spgemm(ar, CsrMatrix::from_coo(qc_coo));
+      SpgemmOptions mopts;
+      mopts.column_mask = &sampled;
+      const CsrMatrix a_s = spgemm(qr, graph_.adjacency(), mopts);
 
       // Assemble: frontier = rows ∪ sampled (rows lead; see sampler.hpp).
       LayerSample layer;

@@ -4,7 +4,7 @@
 #include "core/frontier.hpp"
 #include "core/its.hpp"
 #include "sparse/ops.hpp"
-#include "sparse/spgemm.hpp"
+#include "sparse/spgemm_engine.hpp"
 
 namespace dms {
 

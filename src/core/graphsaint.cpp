@@ -6,7 +6,7 @@
 #include "common/rng.hpp"
 #include "core/its.hpp"
 #include "sparse/ops.hpp"
-#include "sparse/spgemm.hpp"
+#include "sparse/spgemm_engine.hpp"
 
 namespace dms {
 
@@ -80,7 +80,9 @@ std::vector<MinibatchSample> GraphSaintSampler::sample_bulk(
     }
   }
 
-  // Induced subgraphs: A_s = A[V_s, V_s] via row + column extraction.
+  // Induced subgraphs: A_s = A[V_s, V_s] via row extraction + the engine's
+  // masked column extraction (values pass through, so this is bit-identical
+  // to the old extract_columns path).
   std::vector<MinibatchSample> out(static_cast<std::size_t>(k));
   for (index_t i = 0; i < k; ++i) {
     auto& vs = visited[static_cast<std::size_t>(i)];
@@ -88,7 +90,7 @@ std::vector<MinibatchSample> GraphSaintSampler::sample_bulk(
     vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
 
     const CsrMatrix rows = extract_rows(graph_.adjacency(), vs);
-    const CsrMatrix induced = extract_columns(rows, vs);
+    const CsrMatrix induced = spgemm_masked(rows, vs);
 
     LayerSample layer;
     layer.adj = induced;

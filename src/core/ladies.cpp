@@ -6,7 +6,7 @@
 #include "core/its.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/ops.hpp"
-#include "sparse/spgemm.hpp"
+#include "sparse/spgemm_engine.hpp"
 
 namespace dms {
 
@@ -110,29 +110,22 @@ std::vector<MinibatchSample> LadiesSampler::sample_bulk(
                          static_cast<std::uint64_t>(l), 0);
     });
 
-    // --- EXTRACT: stacked row extraction, per-batch column extraction
-    // (batch of small CSR SpGEMMs, §4.2.4 / §8.2.2). ---
-    std::vector<CsrMatrix> qr_blocks;
-    qr_blocks.reserve(static_cast<std::size_t>(k));
-    for (index_t i = 0; i < k; ++i) {
-      qr_blocks.push_back(
-          CsrMatrix::one_nonzero_per_row(n, current[static_cast<std::size_t>(i)]));
-    }
-    const CsrMatrix qr = vstack(qr_blocks);
-    const CsrMatrix ar = spgemm(qr, graph_.adjacency());
-
-    index_t row_offset = 0;
+    // --- EXTRACT: per-batch fused masked extraction A_S = (Qᵣ·A)[:, S]
+    // (§4.2.4 / §8.2.2). The engine's masked kernel computes only the s
+    // sampled columns, so the full row-extraction product Aᵣ·A is never
+    // materialized; the pattern (all the layer uses) is identical to the
+    // old product-then-slice. The sampled ids come from a CSR row, so they
+    // are sorted and duplicate-free as the mask contract requires. ---
     for (index_t i = 0; i < k; ++i) {
       const auto& rows = current[static_cast<std::size_t>(i)];
-      const auto nrows = static_cast<index_t>(rows.size());
       std::vector<index_t> sampled(qs.row_cols(i).begin(), qs.row_cols(i).end());
-      const CsrMatrix ar_i = row_slice(ar, row_offset, row_offset + nrows);
-      const CsrMatrix qc = ladies_column_extractor(n, sampled);
-      const CsrMatrix a_s = spgemm(ar_i, qc);
+      const CsrMatrix qr = CsrMatrix::one_nonzero_per_row(n, rows);
+      SpgemmOptions mopts;
+      mopts.column_mask = &sampled;
+      const CsrMatrix a_s = spgemm(qr, graph_.adjacency(), mopts);
       LayerSample layer = ladies_assemble_layer(rows, sampled, a_s);
       current[static_cast<std::size_t>(i)] = layer.col_vertices;
       out[static_cast<std::size_t>(i)].layers.push_back(std::move(layer));
-      row_offset += nrows;
     }
   }
   return out;

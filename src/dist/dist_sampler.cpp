@@ -10,7 +10,7 @@
 #include "core/ladies.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/ops.hpp"
-#include "sparse/spgemm.hpp"
+#include "sparse/spgemm_engine.hpp"
 
 namespace dms {
 
@@ -30,33 +30,15 @@ void timed_rows(Cluster& cluster, const char* phase, index_t rows, Fn&& body) {
   cluster.add_compute(phase, max_t);
 }
 
-/// A_S = ar_b · Q_C for the sampled columns, computed in column chunks of at
-/// most `chunk` (§8.2.2) so each intermediate CSR product stays small. Every
-/// A_S entry is a single product (the sampled ids are distinct), so the
-/// chunked result is bitwise identical to the monolithic extraction.
+/// A_S = ar_b · Q_C for the sampled columns, via the engine's masked
+/// extraction. The mask replaces both the Q_C product and the §8.2.2
+/// chunking: no intermediate CSR is ever materialized, and because each A_S
+/// entry is a single pass-through value (the sampled ids are distinct and
+/// sorted, coming from a CSR row), the result is bitwise identical to the
+/// chunked product-then-slice this supersedes.
 CsrMatrix extract_sampled_columns(const CsrMatrix& ar_b,
-                                  const std::vector<index_t>& sampled, index_t n,
-                                  index_t chunk) {
-  const auto s = static_cast<index_t>(sampled.size());
-  if (s <= chunk) {
-    // Common case (fanout ≤ chunk): single extraction, no COO round-trip.
-    return spgemm(ar_b, ladies_column_extractor(n, sampled));
-  }
-  CooMatrix coo(ar_b.rows(), s);
-  for (index_t j0 = 0; j0 < s; j0 += chunk) {
-    const index_t j1 = std::min(s, j0 + chunk);
-    const std::vector<index_t> sub(sampled.begin() + j0, sampled.begin() + j1);
-    const CsrMatrix qc = ladies_column_extractor(n, sub);
-    const CsrMatrix part = spgemm(ar_b, qc);
-    for (index_t r = 0; r < part.rows(); ++r) {
-      const auto cols = part.row_cols(r);
-      const auto vals = part.row_vals(r);
-      for (std::size_t x = 0; x < cols.size(); ++x) {
-        coo.push(r, j0 + cols[x], vals[x]);
-      }
-    }
-  }
-  return CsrMatrix::from_coo(coo);
+                                  const std::vector<index_t>& sampled) {
+  return spgemm_masked(ar_b, sampled);
 }
 
 }  // namespace
@@ -153,6 +135,7 @@ std::vector<std::vector<MinibatchSample>> PartitionedSageSampler::sample_rows(
     Spgemm15dOptions sopts;
     sopts.sparsity_aware = opts_.sparsity_aware;
     sopts.phase = kPhaseProbability;
+    sopts.local = opts_.local_spgemm;
     auto p_blocks = spgemm_15d(cluster, q_blocks, dist_adj_, sopts);
     timed_rows(cluster, kPhaseProbability, rows, [&](index_t i) {
       normalize_rows(p_blocks[static_cast<std::size_t>(i)]);
@@ -226,6 +209,7 @@ std::vector<std::vector<MinibatchSample>> PartitionedLadiesSampler::sample_rows(
     Spgemm15dOptions sopts;
     sopts.sparsity_aware = opts_.sparsity_aware;
     sopts.phase = kPhaseProbability;
+    sopts.local = opts_.local_spgemm;
     auto p_blocks = spgemm_15d(cluster, q_blocks, dist_adj_, sopts);
     timed_rows(cluster, kPhaseProbability, rows, [&](index_t i) {
       ladies_norm(p_blocks[static_cast<std::size_t>(i)]);
@@ -257,6 +241,7 @@ std::vector<std::vector<MinibatchSample>> PartitionedLadiesSampler::sample_rows(
     Spgemm15dOptions xopts;
     xopts.sparsity_aware = opts_.sparsity_aware;
     xopts.phase = kPhaseExtraction;
+    xopts.local = opts_.local_spgemm;
     const auto ar_blocks = spgemm_15d(cluster, qr_blocks, dist_adj_, xopts);
     timed_rows(cluster, kPhaseExtraction, rows, [&](index_t i) {
       const auto& off = stacks[static_cast<std::size_t>(i)].offsets;
@@ -267,8 +252,7 @@ std::vector<std::vector<MinibatchSample>> PartitionedLadiesSampler::sample_rows(
         const std::vector<index_t> sampled(cols.begin(), cols.end());
         const CsrMatrix ar_b =
             row_slice(ar_blocks[static_cast<std::size_t>(i)], off[b], off[b + 1]);
-        const CsrMatrix a_s =
-            extract_sampled_columns(ar_b, sampled, n, opts_.ladies_extract_chunk);
+        const CsrMatrix a_s = extract_sampled_columns(ar_b, sampled);
         LayerSample layer = ladies_assemble_layer(row_cur[b], sampled, a_s);
         row_cur[b] = layer.col_vertices;
         out[static_cast<std::size_t>(i)][b].layers.push_back(std::move(layer));

@@ -4,7 +4,7 @@
 
 #include "common/timer.hpp"
 #include "sparse/ops.hpp"
-#include "sparse/spgemm.hpp"
+#include "sparse/spgemm_engine.hpp"
 
 namespace dms {
 
@@ -32,6 +32,12 @@ std::vector<CsrMatrix> spgemm_15d(Cluster& cluster,
   for (const CsrMatrix& q : q_blocks) {
     check(q.cols() == a.rows(), "spgemm_15d: Q block columns must equal A rows");
   }
+
+  // A column mask would renumber each panel product into mask space while
+  // the empty-panel shortcut and the cross-panel reduction still assume the
+  // full a.cols() column space — reject it up front.
+  check(opts.local.column_mask == nullptr,
+        "spgemm_15d: local SpgemmOptions must not carry a column_mask");
 
   const BlockPartition& apart = a.partition();
   // Block rows of A are split among the c ranks of every process row: rank
@@ -77,7 +83,7 @@ std::vector<CsrMatrix> spgemm_15d(Cluster& cluster,
           Timer t;
           const CsrMatrix panel = column_window(q_blocks[static_cast<std::size_t>(i)], c0, c1);
           contrib[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] =
-              spgemm(panel, ak);
+              spgemm(panel, ak, opts.local);
           rank_sec[static_cast<std::size_t>(dst)] += t.seconds();
           continue;
         }
@@ -98,7 +104,7 @@ std::vector<CsrMatrix> spgemm_15d(Cluster& cluster,
         Timer t_mul;
         const CsrMatrix panel_sub = extract_columns(panel, needed);
         contrib[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] =
-            spgemm(panel_sub, a_sub);
+            spgemm(panel_sub, a_sub, opts.local);
         rank_sec[static_cast<std::size_t>(dst)] += t_mul.seconds();
 
         const std::size_t id_bytes = needed.size() * sizeof(index_t);

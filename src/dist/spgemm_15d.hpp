@@ -26,6 +26,7 @@
 #include "comm/cluster.hpp"
 #include "graph/partition.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/spgemm_engine.hpp"
 
 namespace dms {
 
@@ -67,6 +68,13 @@ struct Spgemm15dOptions {
   bool sparsity_aware = true;
   /// Phase name under which compute/comm time is recorded on the Cluster.
   std::string phase = "spgemm_15d";
+  /// Engine options for the per-panel local multiplies Qˡ_ik·A_k. The
+  /// default kAuto dispatch picks a kernel per panel from the symbolic
+  /// phase's flop estimate (the sparsity-aware panels are exactly the
+  /// sparse-rows-over-wide-matrix shape the hash kernel targets); every
+  /// kernel choice yields bit-identical partial products, so the grid-shape
+  /// equivalence contract is unaffected.
+  SpgemmOptions local;
 };
 
 /// Exact communication volumes of one spgemm_15d call (Figure 7 analysis

@@ -1,29 +1,8 @@
-// Sparse × sparse matrix multiplication (SpGEMM).
-//
-// Gustavson's row-wise algorithm with a dense "generation-marked"
-// accumulator: the CPU stand-in for the cuSPARSE/nsparse CSR SpGEMM the
-// paper uses for P ← QˡA and the LADIES extraction products (§4, §8.2.2).
+// Compatibility shim: the SpGEMM entry point now lives in the unified
+// adaptive engine (sparse/spgemm_engine.hpp), which split the old dense
+// accumulator into symbolic/numeric phases and added hash and masked
+// kernels behind the same spgemm() signature. Include the engine header
+// directly in new code.
 #pragma once
 
-#include "sparse/csr.hpp"
-
-namespace dms {
-
-/// Options controlling the SpGEMM kernel.
-struct SpgemmOptions {
-  /// Parallelize over row blocks using the global thread pool.
-  bool parallel = true;
-};
-
-/// C = A * B. A is (m × k), B is (k × n), C is (m × n).
-/// Per-row column ids of C are sorted; numerically exact summation order is
-/// deterministic (ascending column id within each row).
-CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
-                 const SpgemmOptions& opts = {});
-
-/// Number of scalar multiply-adds Gustavson performs for A*B:
-/// sum over nonzeros (i,k) of A of nnz(B row k). Used by the simulator's
-/// compute accounting and by tests.
-nnz_t spgemm_flops(const CsrMatrix& a, const CsrMatrix& b);
-
-}  // namespace dms
+#include "sparse/spgemm_engine.hpp"

@@ -1,0 +1,478 @@
+#include "sparse/spgemm_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <span>
+#include <vector>
+
+#include "common/threadpool.hpp"
+
+namespace dms {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Symbolic phase: per-row FLOP bounds and a flop-balanced block decomposition.
+// ---------------------------------------------------------------------------
+
+/// prefix[r] = multiply-adds of rows [0, r). prefix.back() is the total.
+std::vector<nnz_t> flop_prefix(const CsrMatrix& a, const CsrMatrix& b) {
+  std::vector<nnz_t> prefix(static_cast<std::size_t>(a.rows()) + 1, 0);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    nnz_t f = 0;
+    for (const index_t k : a.row_cols(r)) f += b.row_nnz(k);
+    prefix[static_cast<std::size_t>(r) + 1] = prefix[static_cast<std::size_t>(r)] + f;
+  }
+  return prefix;
+}
+
+/// Row-count prefix for the masked extraction (one "flop" per nonzero).
+std::vector<nnz_t> nnz_prefix(const CsrMatrix& a) {
+  std::vector<nnz_t> prefix(static_cast<std::size_t>(a.rows()) + 1, 0);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    prefix[static_cast<std::size_t>(r) + 1] =
+        prefix[static_cast<std::size_t>(r)] + a.row_nnz(r);
+  }
+  return prefix;
+}
+
+/// Contiguous row-range boundaries with ~equal flops per block. Every block
+/// is non-empty by construction, so no worker ever allocates workspace for
+/// an empty range (the old ceil_div split could produce trailing empty
+/// blocks when m was not a multiple of the thread count).
+std::vector<index_t> balanced_bounds(const std::vector<nnz_t>& prefix, index_t m,
+                                     index_t max_blocks) {
+  std::vector<index_t> bounds{0};
+  if (m == 0) {
+    bounds.push_back(0);
+    return bounds;
+  }
+  const nnz_t total = prefix[static_cast<std::size_t>(m)];
+  const index_t nblocks = std::max<index_t>(1, std::min<index_t>(m, max_blocks));
+  for (index_t i = 1; i < nblocks; ++i) {
+    // First row whose flop prefix exceeds the i-th equal-share target.
+    const nnz_t target = total / nblocks * i;
+    const auto it = std::upper_bound(prefix.begin(), prefix.end(), target);
+    const auto r = static_cast<index_t>(it - prefix.begin()) - 1;
+    if (r > bounds.back() && r < m) bounds.push_back(r);
+  }
+  bounds.push_back(m);
+  return bounds;
+}
+
+// ---------------------------------------------------------------------------
+// Numeric phase kernels. All three accumulate each output entry's
+// contributions in the order the A row traverses its B rows and emit sorted
+// rows, so their results are bitwise interchangeable.
+// ---------------------------------------------------------------------------
+
+struct BlockOut {
+  std::vector<nnz_t> row_nnz;
+  std::vector<index_t> colidx;
+  std::vector<value_t> vals;
+};
+
+/// Dense accumulator with generation marking: O(1) reset between rows.
+struct DenseAcc {
+  explicit DenseAcc(index_t cols)
+      : mark(static_cast<std::size_t>(cols), -1),
+        acc(static_cast<std::size_t>(cols), 0.0) {}
+
+  std::vector<index_t> mark;  // last row id that touched this column
+  std::vector<value_t> acc;
+  std::vector<index_t> touched;  // columns touched by the current row
+};
+
+void dense_block(const CsrMatrix& a, const CsrMatrix& b, index_t r0, index_t r1,
+                 BlockOut& out) {
+  DenseAcc ws(b.cols());
+  out.row_nnz.assign(static_cast<std::size_t>(r1 - r0), 0);
+  for (index_t r = r0; r < r1; ++r) {
+    ws.touched.clear();
+    const auto acols = a.row_cols(r);
+    const auto avals = a.row_vals(r);
+    for (std::size_t i = 0; i < acols.size(); ++i) {
+      const index_t k = acols[i];
+      const value_t av = avals[i];
+      const auto bcols = b.row_cols(k);
+      const auto bvals = b.row_vals(k);
+      for (std::size_t j = 0; j < bcols.size(); ++j) {
+        const index_t c = bcols[j];
+        if (ws.mark[static_cast<std::size_t>(c)] != r) {
+          ws.mark[static_cast<std::size_t>(c)] = r;
+          ws.acc[static_cast<std::size_t>(c)] = av * bvals[j];
+          ws.touched.push_back(c);
+        } else {
+          ws.acc[static_cast<std::size_t>(c)] += av * bvals[j];
+        }
+      }
+    }
+    std::sort(ws.touched.begin(), ws.touched.end());
+    out.row_nnz[static_cast<std::size_t>(r - r0)] =
+        static_cast<nnz_t>(ws.touched.size());
+    for (const index_t c : ws.touched) {
+      out.colidx.push_back(c);
+      out.vals.push_back(ws.acc[static_cast<std::size_t>(c)]);
+    }
+  }
+}
+
+/// Open-addressing accumulator for one output row (nsparse-style).
+class HashRow {
+ public:
+  void reset(std::size_t upper_bound_fill) {
+    // Load factor 1/2, minimum 8 slots.
+    std::size_t want = std::max<std::size_t>(8, std::bit_ceil(2 * upper_bound_fill + 1));
+    if (want > keys_.size()) {
+      keys_.assign(want, kEmpty);
+      vals_.assign(want, 0.0);
+    } else {
+      for (const index_t k : used_) {
+        keys_[static_cast<std::size_t>(k)] = kEmpty;
+      }
+      want = keys_.size();
+    }
+    mask_ = want - 1;
+    used_.clear();
+  }
+
+  void add(index_t col, value_t v) {
+    std::size_t slot = (static_cast<std::size_t>(col) * 0x9e3779b97f4a7c15ULL) & mask_;
+    while (true) {
+      if (keys_[slot] == kEmpty) {
+        keys_[slot] = col;
+        vals_[slot] = v;
+        used_.push_back(static_cast<index_t>(slot));
+        return;
+      }
+      if (keys_[slot] == col) {
+        vals_[slot] += v;
+        return;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Emits (col, val) pairs sorted by column id.
+  void emit(std::vector<index_t>* cols, std::vector<value_t>* vals) {
+    std::sort(used_.begin(), used_.end(), [&](index_t a, index_t b) {
+      return keys_[static_cast<std::size_t>(a)] < keys_[static_cast<std::size_t>(b)];
+    });
+    for (const index_t slot : used_) {
+      cols->push_back(keys_[static_cast<std::size_t>(slot)]);
+      vals->push_back(vals_[static_cast<std::size_t>(slot)]);
+    }
+  }
+
+  std::size_t fill() const { return used_.size(); }
+
+ private:
+  static constexpr index_t kEmpty = -1;
+  std::vector<index_t> keys_;
+  std::vector<value_t> vals_;
+  std::vector<index_t> used_;
+  std::size_t mask_ = 0;
+};
+
+void hash_block(const CsrMatrix& a, const CsrMatrix& b, index_t r0, index_t r1,
+                std::span<const nnz_t> prefix, BlockOut& out) {
+  HashRow acc;
+  out.row_nnz.assign(static_cast<std::size_t>(r1 - r0), 0);
+  for (index_t r = r0; r < r1; ++r) {
+    acc.reset(static_cast<std::size_t>(prefix[static_cast<std::size_t>(r) + 1] -
+                                       prefix[static_cast<std::size_t>(r)]));
+    const auto acols = a.row_cols(r);
+    const auto avals = a.row_vals(r);
+    for (std::size_t i = 0; i < acols.size(); ++i) {
+      const index_t k = acols[i];
+      const value_t av = avals[i];
+      const auto bcols = b.row_cols(k);
+      const auto bvals = b.row_vals(k);
+      for (std::size_t j = 0; j < bcols.size(); ++j) {
+        acc.add(bcols[j], av * bvals[j]);
+      }
+    }
+    out.row_nnz[static_cast<std::size_t>(r - r0)] = static_cast<nnz_t>(acc.fill());
+    acc.emit(&out.colidx, &out.vals);
+  }
+}
+
+/// Dense accumulator over mask positions (|mask| ≪ cols, so the workspace is
+/// tiny) plus a sorted-list intersection of each B row against the mask.
+struct MaskedAcc {
+  explicit MaskedAcc(std::size_t s)
+      : mark(s, -1), acc(s, 0.0) {}
+
+  std::vector<index_t> mark;
+  std::vector<value_t> acc;
+  std::vector<index_t> touched;  // mask positions touched by the current row
+
+  void add(index_t row, index_t pos, value_t v) {
+    if (mark[static_cast<std::size_t>(pos)] != row) {
+      mark[static_cast<std::size_t>(pos)] = row;
+      acc[static_cast<std::size_t>(pos)] = v;
+      touched.push_back(pos);
+    } else {
+      acc[static_cast<std::size_t>(pos)] += v;
+    }
+  }
+};
+
+/// Feeds fn(mask_pos, b_index) for every column shared by the sorted B row
+/// and the sorted mask. Chooses between two-pointer merge and binary-search
+/// galloping based on the length ratio, so the cost is O(min + log max)
+/// rather than O(d) per B row.
+template <typename Fn>
+void intersect_sorted(std::span<const index_t> bcols,
+                      const std::vector<index_t>& mask, Fn&& fn) {
+  const std::size_t d = bcols.size();
+  const std::size_t s = mask.size();
+  if (d == 0 || s == 0) return;
+  if (s * 8 < d) {
+    // Mask-driven: binary-search each masked column in the B row.
+    auto lo = bcols.begin();
+    for (std::size_t mi = 0; mi < s; ++mi) {
+      lo = std::lower_bound(lo, bcols.end(), mask[mi]);
+      if (lo == bcols.end()) return;
+      if (*lo == mask[mi]) {
+        fn(static_cast<index_t>(mi), static_cast<std::size_t>(lo - bcols.begin()));
+        ++lo;
+      }
+    }
+    return;
+  }
+  if (d * 8 < s) {
+    // Row-driven: binary-search each B column in the mask.
+    auto lo = mask.begin();
+    for (std::size_t j = 0; j < d; ++j) {
+      lo = std::lower_bound(lo, mask.end(), bcols[j]);
+      if (lo == mask.end()) return;
+      if (*lo == bcols[j]) {
+        fn(static_cast<index_t>(lo - mask.begin()), j);
+        ++lo;
+      }
+    }
+    return;
+  }
+  // Comparable lengths: linear two-pointer merge.
+  std::size_t j = 0, mi = 0;
+  while (j < d && mi < s) {
+    if (bcols[j] < mask[mi]) {
+      ++j;
+    } else if (bcols[j] > mask[mi]) {
+      ++mi;
+    } else {
+      fn(static_cast<index_t>(mi), j);
+      ++j;
+      ++mi;
+    }
+  }
+}
+
+/// Dense column→mask-position lookup (-1 when unmasked). Built once per call
+/// — O(cols) — and shared read-only across all blocks when the product's
+/// flop volume amortizes the build; small products use intersect_sorted
+/// instead and never pay the O(cols) setup.
+std::vector<index_t> mask_lookup(const std::vector<index_t>& mask, index_t cols) {
+  std::vector<index_t> pos(static_cast<std::size_t>(cols), -1);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    pos[static_cast<std::size_t>(mask[i])] = static_cast<index_t>(i);
+  }
+  return pos;
+}
+
+void masked_block(const CsrMatrix& a, const CsrMatrix& b,
+                  const std::vector<index_t>& mask,
+                  const std::vector<index_t>* lookup, index_t r0, index_t r1,
+                  BlockOut& out) {
+  MaskedAcc ws(mask.size());
+  out.row_nnz.assign(static_cast<std::size_t>(r1 - r0), 0);
+  for (index_t r = r0; r < r1; ++r) {
+    ws.touched.clear();
+    const auto acols = a.row_cols(r);
+    const auto avals = a.row_vals(r);
+    for (std::size_t i = 0; i < acols.size(); ++i) {
+      const index_t k = acols[i];
+      const value_t av = avals[i];
+      const auto bcols = b.row_cols(k);
+      const auto bvals = b.row_vals(k);
+      if (lookup != nullptr) {
+        for (std::size_t j = 0; j < bcols.size(); ++j) {
+          const index_t pos = (*lookup)[static_cast<std::size_t>(bcols[j])];
+          if (pos >= 0) ws.add(r, pos, av * bvals[j]);
+        }
+      } else {
+        intersect_sorted(bcols, mask, [&](index_t pos, std::size_t j) {
+          ws.add(r, pos, av * bvals[j]);
+        });
+      }
+    }
+    std::sort(ws.touched.begin(), ws.touched.end());
+    out.row_nnz[static_cast<std::size_t>(r - r0)] =
+        static_cast<nnz_t>(ws.touched.size());
+    for (const index_t pos : ws.touched) {
+      out.colidx.push_back(pos);
+      out.vals.push_back(ws.acc[static_cast<std::size_t>(pos)]);
+    }
+  }
+}
+
+/// Stitches per-block outputs into one CSR matrix.
+CsrMatrix stitch(index_t m, index_t n, const std::vector<index_t>& bounds,
+                 std::vector<BlockOut>& blocks) {
+  std::vector<nnz_t> rowptr(static_cast<std::size_t>(m) + 1, 0);
+  nnz_t total = 0;
+  for (std::size_t blk = 0; blk + 1 < bounds.size(); ++blk) {
+    const index_t r0 = bounds[blk];
+    const auto& out = blocks[blk];
+    for (std::size_t i = 0; i < out.row_nnz.size(); ++i) {
+      rowptr[static_cast<std::size_t>(r0) + i + 1] = out.row_nnz[i];
+    }
+    total += static_cast<nnz_t>(out.colidx.size());
+  }
+  for (index_t r = 0; r < m; ++r) {
+    rowptr[static_cast<std::size_t>(r) + 1] += rowptr[static_cast<std::size_t>(r)];
+  }
+
+  std::vector<index_t> colidx(static_cast<std::size_t>(total));
+  std::vector<value_t> vals(static_cast<std::size_t>(total));
+  nnz_t cursor = 0;
+  for (auto& out : blocks) {
+    std::copy(out.colidx.begin(), out.colidx.end(),
+              colidx.begin() + static_cast<std::ptrdiff_t>(cursor));
+    std::copy(out.vals.begin(), out.vals.end(),
+              vals.begin() + static_cast<std::ptrdiff_t>(cursor));
+    cursor += static_cast<nnz_t>(out.colidx.size());
+  }
+  return CsrMatrix(m, n, std::move(rowptr), std::move(colidx), std::move(vals));
+}
+
+void check_mask(const std::vector<index_t>& mask, index_t cols, const char* who) {
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    check(mask[i] >= 0 && mask[i] < cols,
+          std::string(who) + ": mask column id out of range");
+    check(i == 0 || mask[i - 1] < mask[i],
+          std::string(who) + ": mask must be sorted and duplicate-free");
+  }
+}
+
+/// Runs body(blk) for every block, in parallel when there is more than one.
+template <typename Fn>
+void for_blocks(const std::vector<index_t>& bounds, Fn&& body) {
+  const auto nblocks = static_cast<index_t>(bounds.size()) - 1;
+  if (nblocks <= 1) {
+    if (nblocks == 1) body(0);
+    return;
+  }
+  ThreadPool::global().parallel_for(nblocks, body);
+}
+
+}  // namespace
+
+SpgemmKernel spgemm_pick_kernel(nnz_t block_flops, index_t out_cols) {
+  // The dense accumulator pays O(out_cols) to initialize its workspace; the
+  // hash kernel pays ~constant-factor overhead per multiply-add (probing +
+  // per-row sort). Dense wins once the block's flop volume amortizes the
+  // workspace; the crossover factor 4 approximates that per-flop overhead.
+  return block_flops * 4 >= out_cols ? SpgemmKernel::kDense : SpgemmKernel::kHash;
+}
+
+CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b, const SpgemmOptions& opts) {
+  check(a.cols() == b.rows(), "spgemm: inner dimension mismatch");
+  const index_t m = a.rows();
+  const index_t n = b.cols();
+
+  const bool masked = opts.column_mask != nullptr;
+  check(!(opts.kernel == SpgemmKernel::kMasked && !masked),
+        "spgemm: kMasked requires a column_mask");
+  if (masked) check_mask(*opts.column_mask, n, "spgemm");
+
+  // Symbolic phase: row FLOP bounds, flop-balanced blocks, per-block kernel.
+  const std::vector<nnz_t> prefix = flop_prefix(a, b);
+  const index_t max_blocks = opts.parallel ? ThreadPool::global().size() : 1;
+  const std::vector<index_t> bounds = balanced_bounds(prefix, m, max_blocks);
+
+  // For flop-heavy masked products, an O(n) column→position table beats
+  // per-row sorted intersection; tiny per-minibatch extractions skip the
+  // setup entirely. Either path yields the same bits (identical
+  // contribution order), so this is a pure speed knob.
+  std::vector<index_t> lookup;
+  if (masked && !opts.column_mask->empty() &&
+      prefix[static_cast<std::size_t>(m)] * 2 >= n) {
+    lookup = mask_lookup(*opts.column_mask, n);
+  }
+
+  // Numeric phase.
+  std::vector<BlockOut> blocks(bounds.size() - 1);
+  for_blocks(bounds, [&](index_t blk) {
+    const index_t r0 = bounds[static_cast<std::size_t>(blk)];
+    const index_t r1 = bounds[static_cast<std::size_t>(blk) + 1];
+    BlockOut& out = blocks[static_cast<std::size_t>(blk)];
+    const nnz_t block_flops = prefix[static_cast<std::size_t>(r1)] -
+                              prefix[static_cast<std::size_t>(r0)];
+    if (block_flops == 0) {
+      // All rows in the range are structurally empty: no workspace needed.
+      out.row_nnz.assign(static_cast<std::size_t>(r1 - r0), 0);
+      return;
+    }
+    if (masked) {
+      masked_block(a, b, *opts.column_mask, lookup.empty() ? nullptr : &lookup,
+                   r0, r1, out);
+      return;
+    }
+    SpgemmKernel kernel = opts.kernel;
+    if (kernel == SpgemmKernel::kAuto) kernel = spgemm_pick_kernel(block_flops, n);
+    if (kernel == SpgemmKernel::kHash) {
+      hash_block(a, b, r0, r1, prefix, out);
+    } else {
+      dense_block(a, b, r0, r1, out);
+    }
+  });
+
+  const index_t out_cols =
+      masked ? static_cast<index_t>(opts.column_mask->size()) : n;
+  return stitch(m, out_cols, bounds, blocks);
+}
+
+CsrMatrix spgemm_masked(const CsrMatrix& a, const std::vector<index_t>& mask,
+                        const SpgemmOptions& opts) {
+  check_mask(mask, a.cols(), "spgemm_masked");
+  const index_t m = a.rows();
+
+  const std::vector<nnz_t> prefix = nnz_prefix(a);
+  const index_t max_blocks = opts.parallel ? ThreadPool::global().size() : 1;
+  const std::vector<index_t> bounds = balanced_bounds(prefix, m, max_blocks);
+
+  std::vector<BlockOut> blocks(bounds.size() - 1);
+  for_blocks(bounds, [&](index_t blk) {
+    const index_t r0 = bounds[static_cast<std::size_t>(blk)];
+    const index_t r1 = bounds[static_cast<std::size_t>(blk) + 1];
+    BlockOut& out = blocks[static_cast<std::size_t>(blk)];
+    out.row_nnz.assign(static_cast<std::size_t>(r1 - r0), 0);
+    for (index_t r = r0; r < r1; ++r) {
+      const auto avals = a.row_vals(r);
+      nnz_t kept = 0;
+      // Row columns are sorted and unique, so the intersection needs no
+      // accumulator: values pass through and positions emerge ascending.
+      intersect_sorted(a.row_cols(r), mask, [&](index_t pos, std::size_t j) {
+        out.colidx.push_back(pos);
+        out.vals.push_back(avals[j]);
+        ++kept;
+      });
+      out.row_nnz[static_cast<std::size_t>(r - r0)] = kept;
+    }
+  });
+
+  return stitch(m, static_cast<index_t>(mask.size()), bounds, blocks);
+}
+
+nnz_t spgemm_flops(const CsrMatrix& a, const CsrMatrix& b) {
+  check(a.cols() == b.rows(), "spgemm_flops: inner dimension mismatch");
+  nnz_t flops = 0;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (const index_t k : a.row_cols(r)) flops += b.row_nnz(k);
+  }
+  return flops;
+}
+
+}  // namespace dms

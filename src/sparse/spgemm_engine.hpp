@@ -1,0 +1,82 @@
+// Unified adaptive SpGEMM engine — the single entry point for every sparse ×
+// sparse product in the library.
+//
+// The paper's central claim is that minibatch sampling *is* SpGEMM (§4), so
+// this kernel is the hot path of every sampler. The engine splits each
+// multiply into a symbolic and a numeric phase:
+//
+//  - SYMBOLIC: one O(nnz(A)) pass computes the Gustavson FLOP count of every
+//    output row (sum of B-row lengths the row touches), a flop-balanced
+//    block decomposition of the rows, and a kernel choice per block.
+//  - NUMERIC: each block runs the kernel the estimator picked:
+//      * dense  — generation-marked dense accumulator, O(cols) workspace per
+//                 block. Wins when the block's flop volume amortizes the
+//                 workspace (wide, dense row blocks).
+//      * hash   — nsparse-style open addressing sized to each row's
+//                 upper-bound fill. Wins for sparse rows over wide matrices
+//                 (the Qˡ·A probability products, rows ≪ n).
+//      * masked — computes only the output columns listed in an explicit
+//                 column mask, via sorted-list intersection against each
+//                 B row. Turns the LADIES/FastGCN column-extraction pattern
+//                 (compute AᵣB in full, keep s columns) into work
+//                 proportional to the surviving nonzeros (§4.1.3, §8.2.2).
+//
+// Bit-identity contract: all kernels emit rows in sorted column order and
+// accumulate each output entry's contributions in the same order (the order
+// the A row traverses its B rows), so dense, hash, auto and masked products
+// are bit-identical — not merely close. This is what lets the samplers
+// dispatch adaptively while preserving the PR-1 single-node/partitioned
+// equivalence contract, and what makes the distributed 1.5D SpGEMM's results
+// independent of the per-panel kernel choice.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace dms {
+
+/// Kernel selector. kAuto lets the symbolic-phase estimator pick per block.
+enum class SpgemmKernel { kAuto, kDense, kHash, kMasked };
+
+/// Options controlling the SpGEMM engine.
+struct SpgemmOptions {
+  /// Parallelize over flop-balanced row blocks using the global thread pool.
+  bool parallel = true;
+  /// Kernel override; kAuto dispatches per row block.
+  SpgemmKernel kernel = SpgemmKernel::kAuto;
+  /// When non-null: compute only these columns of the product (must be
+  /// sorted and duplicate-free; ids index the product's column space), and
+  /// renumber them 0..mask.size()-1 in order. Forces the masked kernel.
+  /// The pointee must outlive the call.
+  const std::vector<index_t>* column_mask = nullptr;
+};
+
+/// C = A * B. A is (m × k), B is (k × n); C is (m × n), or (m × |mask|)
+/// when opts.column_mask is set. Per-row column ids of C are sorted and the
+/// result is bitwise independent of the kernel choice, the block
+/// decomposition, and the thread count.
+CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
+                 const SpgemmOptions& opts = {});
+
+/// Masked column extraction A[:, mask] with the kept columns renumbered
+/// 0..mask.size()-1: the fused form of the extraction SpGEMM A·Q_C where
+/// Q_C has one nonzero per sampled column (§4.1.3). `mask` must be sorted
+/// and duplicate-free. Values are passed through unchanged (Q_C's nonzeros
+/// are exactly 1), so the result is bit-identical to the two-step
+/// product-then-slice it replaces.
+CsrMatrix spgemm_masked(const CsrMatrix& a, const std::vector<index_t>& mask,
+                        const SpgemmOptions& opts = {});
+
+/// Kernel the kAuto estimator picks for a row block performing `block_flops`
+/// multiply-adds into `out_cols` output columns. Exposed so tests and the
+/// kernel-comparison bench can pin down the dispatch boundary.
+SpgemmKernel spgemm_pick_kernel(nnz_t block_flops, index_t out_cols);
+
+/// Number of scalar multiply-adds Gustavson performs for A*B:
+/// sum over nonzeros (i,k) of A of nnz(B row k). This is exactly what the
+/// symbolic phase computes per row; used by the simulator's compute
+/// accounting and by tests.
+nnz_t spgemm_flops(const CsrMatrix& a, const CsrMatrix& b);
+
+}  // namespace dms

@@ -1,6 +1,7 @@
 #include "sparse/spmm.hpp"
 
 #include "common/threadpool.hpp"
+#include "sparse/ops.hpp"
 
 namespace dms {
 
@@ -25,19 +26,25 @@ Dense<T> spmm(const CsrMatrix& a, const Dense<T>& b) {
 template <typename T>
 Dense<T> spmm_transposed(const CsrMatrix& a, const Dense<T>& b) {
   check(a.rows() == b.rows(), "spmm_transposed: inner dimension mismatch");
+  // Gather form: C = Aᵀ·B through an explicit O(nnz) counting transpose, so
+  // every output row is owned by exactly one parallel_for task (no scatter
+  // races, no atomics). The counting transpose lists each output row's
+  // contributions in ascending source-row order — the exact order the old
+  // serial scatter loop accumulated them — so the result is bit-identical
+  // to the serial version for every thread count.
+  const CsrMatrix at = transpose(a);
   const index_t f = b.cols();
-  // Scatter pattern: serial over rows of A to stay deterministic and safe.
-  Dense<T> c(a.cols(), f);
-  for (index_t r = 0; r < a.rows(); ++r) {
-    const T* brow = b.row(r);
-    const auto cols = a.row_cols(r);
-    const auto vals = a.row_vals(r);
+  Dense<T> c(at.rows(), f);
+  ThreadPool::global().parallel_for(at.rows(), [&](index_t r) {
+    T* crow = c.row(r);
+    const auto cols = at.row_cols(r);
+    const auto vals = at.row_vals(r);
     for (std::size_t i = 0; i < cols.size(); ++i) {
-      T* crow = c.row(cols[i]);
+      const T* brow = b.row(cols[i]);
       const T av = static_cast<T>(vals[i]);
       for (index_t j = 0; j < f; ++j) crow[j] += av * brow[j];
     }
-  }
+  });
   return c;
 }
 

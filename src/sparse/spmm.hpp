@@ -11,7 +11,9 @@ namespace dms {
 template <typename T>
 Dense<T> spmm(const CsrMatrix& a, const Dense<T>& b);
 
-/// C = Aᵀ * B without materializing Aᵀ (used by the backward pass).
+/// C = Aᵀ * B (used by the backward pass). Row-parallel over the output via
+/// an O(nnz) counting transpose of A; bit-identical to the serial scatter
+/// formulation for every thread count (see spmm.cpp).
 template <typename T>
 Dense<T> spmm_transposed(const CsrMatrix& a, const Dense<T>& b);
 

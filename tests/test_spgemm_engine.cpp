@@ -1,0 +1,174 @@
+// The unified SpGEMM engine: property tests asserting every kernel (dense,
+// hash, auto-dispatched, masked) produces bit-identical results on random
+// CSR inputs across shapes — including empty rows/columns and random
+// duplicate-free masks — plus dispatch and mask-contract checks.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/spgemm_engine.hpp"
+#include "test_util.hpp"
+
+namespace dms {
+namespace {
+
+using testutil::dense_matmul;
+using testutil::random_csr;
+
+CsrMatrix run(const CsrMatrix& a, const CsrMatrix& b, SpgemmKernel kernel,
+              bool parallel = true) {
+  SpgemmOptions opts;
+  opts.kernel = kernel;
+  opts.parallel = parallel;
+  return spgemm(a, b, opts);
+}
+
+/// Random sorted duplicate-free subset of [0, cols).
+std::vector<index_t> random_mask(index_t cols, double keep, std::uint64_t seed) {
+  Pcg32 rng(seed, 0x3a5c);
+  std::vector<index_t> mask;
+  for (index_t c = 0; c < cols; ++c) {
+    if (rng.uniform() < keep) mask.push_back(c);
+  }
+  return mask;
+}
+
+struct EngineSweep {
+  index_t m, k, n;
+  double da, db;
+};
+
+class SpgemmEngineSweep : public ::testing::TestWithParam<EngineSweep> {};
+
+TEST_P(SpgemmEngineSweep, AllKernelsBitIdentical) {
+  const auto p = GetParam();
+  const CsrMatrix a = random_csr(p.m, p.k, p.da, 311 + p.m);
+  const CsrMatrix b = random_csr(p.k, p.n, p.db, 313 + p.n);
+
+  const CsrMatrix dense = run(a, b, SpgemmKernel::kDense);
+  dense.validate();
+  const CsrMatrix hash = run(a, b, SpgemmKernel::kHash);
+  hash.validate();
+  const CsrMatrix autok = run(a, b, SpgemmKernel::kAuto);
+  const CsrMatrix serial = run(a, b, SpgemmKernel::kAuto, /*parallel=*/false);
+
+  // Bit-identity across kernels, dispatch, and block decompositions.
+  EXPECT_TRUE(dense == hash);
+  EXPECT_TRUE(dense == autok);
+  EXPECT_TRUE(dense == serial);
+
+  // And the numbers are actually right.
+  const DenseD ref = dense_matmul(to_dense(a), to_dense(b));
+  EXPECT_LT(DenseD::max_abs_diff(to_dense(dense), ref), 1e-12);
+}
+
+TEST_P(SpgemmEngineSweep, MaskedVariantMatchesProductThenSlice) {
+  const auto p = GetParam();
+  const CsrMatrix a = random_csr(p.m, p.k, p.da, 311 + p.m);
+  const CsrMatrix b = random_csr(p.k, p.n, p.db, 313 + p.n);
+  const CsrMatrix full = run(a, b, SpgemmKernel::kDense);
+
+  for (const double keep : {0.0, 0.25, 1.0}) {
+    const std::vector<index_t> mask =
+        random_mask(p.n, keep, 317 + p.m + static_cast<std::uint64_t>(keep * 8));
+    SpgemmOptions opts;
+    opts.column_mask = &mask;
+    const CsrMatrix masked = spgemm(a, b, opts);
+    masked.validate();
+    EXPECT_EQ(masked.cols(), static_cast<index_t>(mask.size()));
+    if (mask.empty()) {
+      EXPECT_EQ(masked.nnz(), 0);
+      continue;
+    }
+    EXPECT_TRUE(masked == extract_columns(full, mask));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndDensities, SpgemmEngineSweep,
+    ::testing::Values(EngineSweep{1, 1, 1, 1.0, 1.0},
+                      EngineSweep{5, 7, 3, 0.5, 0.5},
+                      // density 0 operands: every row/column empty
+                      EngineSweep{12, 9, 14, 0.0, 0.4},
+                      EngineSweep{12, 9, 14, 0.4, 0.0},
+                      // sparse operands with many structurally empty rows/cols
+                      EngineSweep{40, 30, 50, 0.03, 0.03},
+                      EngineSweep{16, 16, 16, 0.1, 0.9},
+                      EngineSweep{16, 16, 16, 0.9, 0.1},
+                      EngineSweep{1, 40, 40, 0.3, 0.3},
+                      EngineSweep{40, 1, 40, 1.0, 1.0},
+                      EngineSweep{40, 40, 1, 0.3, 0.3},
+                      // tall-thin vs short-wide (hash vs dense territory)
+                      EngineSweep{4, 64, 512, 0.2, 0.05},
+                      EngineSweep{128, 16, 8, 0.4, 0.6},
+                      EngineSweep{100, 100, 100, 0.02, 0.02}));
+
+TEST(SpgemmEngine, MaskedExtractionMatchesExtractColumns) {
+  const CsrMatrix a = random_csr(30, 80, 0.15, 401);
+  for (const double keep : {0.1, 0.5, 1.0}) {
+    const std::vector<index_t> mask =
+        random_mask(80, keep, 403 + static_cast<std::uint64_t>(keep * 16));
+    if (mask.empty()) continue;
+    EXPECT_TRUE(spgemm_masked(a, mask) == extract_columns(a, mask));
+  }
+}
+
+TEST(SpgemmEngine, MaskedExtractionEmptyMask) {
+  const CsrMatrix a = random_csr(6, 10, 0.5, 405);
+  const std::vector<index_t> empty;
+  const CsrMatrix e = spgemm_masked(a, empty);
+  EXPECT_EQ(e.rows(), 6);
+  EXPECT_EQ(e.cols(), 0);
+  EXPECT_EQ(e.nnz(), 0);
+}
+
+TEST(SpgemmEngine, MaskContractViolationsThrow) {
+  const CsrMatrix a = random_csr(4, 6, 0.5, 407);
+  const CsrMatrix b = random_csr(6, 8, 0.5, 408);
+  const std::vector<index_t> unsorted{3, 1};
+  const std::vector<index_t> duplicated{2, 2};
+  const std::vector<index_t> out_of_range{7, 8};
+  SpgemmOptions opts;
+  opts.column_mask = &unsorted;
+  EXPECT_THROW(spgemm(a, b, opts), DmsError);
+  opts.column_mask = &duplicated;
+  EXPECT_THROW(spgemm(a, b, opts), DmsError);
+  opts.column_mask = &out_of_range;
+  EXPECT_THROW(spgemm(a, b, opts), DmsError);
+  EXPECT_THROW(spgemm_masked(a, out_of_range), DmsError);
+  // Forcing the masked kernel without providing a mask is a contract error.
+  SpgemmOptions no_mask;
+  no_mask.kernel = SpgemmKernel::kMasked;
+  EXPECT_THROW(spgemm(a, b, no_mask), DmsError);
+}
+
+TEST(SpgemmEngine, DimensionMismatchThrows) {
+  EXPECT_THROW(spgemm(CsrMatrix(2, 3), CsrMatrix(4, 2)), DmsError);
+}
+
+TEST(SpgemmEngine, FlopBalancedBlocksHandleFewRows) {
+  // m far below the thread count: the old ceil_div decomposition produced
+  // trailing empty blocks; the flop-balanced bounds never do, and results
+  // stay bit-identical between serial and parallel runs.
+  const CsrMatrix a = random_csr(2, 300, 0.3, 411);
+  const CsrMatrix b = random_csr(300, 200, 0.05, 412);
+  EXPECT_TRUE(run(a, b, SpgemmKernel::kAuto, true) ==
+              run(a, b, SpgemmKernel::kAuto, false));
+}
+
+TEST(SpgemmEngine, SkewedRowsStayBitIdenticalAcrossDecompositions) {
+  // One massive row among many empty ones stresses the flop-balanced
+  // boundary placement (most blocks end up owning only empty rows).
+  CooMatrix acoo(64, 128);
+  Pcg32 rng(9);
+  for (index_t k = 0; k < 128; ++k) acoo.push(17, k, rng.uniform() + 0.1);
+  acoo.push(63, 5, 1.0);
+  const CsrMatrix a = CsrMatrix::from_coo(acoo);
+  const CsrMatrix b = random_csr(128, 256, 0.1, 413);
+  const CsrMatrix par = run(a, b, SpgemmKernel::kAuto, true);
+  par.validate();
+  EXPECT_TRUE(par == run(a, b, SpgemmKernel::kAuto, false));
+}
+
+}  // namespace
+}  // namespace dms

@@ -1,9 +1,8 @@
-// Hash-accumulator SpGEMM: equivalence with the dense-accumulator kernel.
+// Hash-kernel path of the SpGEMM engine: equivalence with the dense kernel.
 #include <gtest/gtest.h>
 
 #include "sparse/ops.hpp"
-#include "sparse/spgemm.hpp"
-#include "sparse/spgemm_hash.hpp"
+#include "sparse/spgemm_engine.hpp"
 #include "test_util.hpp"
 
 namespace dms {
@@ -11,12 +10,25 @@ namespace {
 
 using testutil::random_csr;
 
+CsrMatrix spgemm_hash(const CsrMatrix& a, const CsrMatrix& b) {
+  SpgemmOptions opts;
+  opts.kernel = SpgemmKernel::kHash;
+  return spgemm(a, b, opts);
+}
+
+CsrMatrix spgemm_dense(const CsrMatrix& a, const CsrMatrix& b) {
+  SpgemmOptions opts;
+  opts.kernel = SpgemmKernel::kDense;
+  return spgemm(a, b, opts);
+}
+
 TEST(SpgemmHash, MatchesDenseAccumulatorKernel) {
   const CsrMatrix a = random_csr(40, 60, 0.1, 201);
   const CsrMatrix b = random_csr(60, 50, 0.15, 202);
   const CsrMatrix h = spgemm_hash(a, b);
   h.validate();
-  EXPECT_LT(max_abs_diff(h, spgemm(a, b)), 1e-12);
+  // The engine's bit-identity contract: not merely close, the same bits.
+  EXPECT_TRUE(h == spgemm_dense(a, b));
 }
 
 TEST(SpgemmHash, DimensionMismatchThrows) {
@@ -44,7 +56,7 @@ TEST(SpgemmHash, CollisionHeavyColumns) {
   }
   const CsrMatrix a = CsrMatrix::from_coo(acoo);
   const CsrMatrix b = CsrMatrix::from_coo(bcoo);
-  EXPECT_LT(max_abs_diff(spgemm_hash(a, b), spgemm(a, b)), 1e-12);
+  EXPECT_TRUE(spgemm_hash(a, b) == spgemm_dense(a, b));
 }
 
 struct HashSweep {
@@ -60,7 +72,7 @@ TEST_P(SpgemmHashSweep, AgreesWithReference) {
   const CsrMatrix b = random_csr(p.k, p.n, p.db, 213 + p.n);
   const CsrMatrix h = spgemm_hash(a, b);
   h.validate();
-  EXPECT_LT(max_abs_diff(h, spgemm(a, b)), 1e-12);
+  EXPECT_TRUE(h == spgemm_dense(a, b));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -71,13 +83,19 @@ INSTANTIATE_TEST_SUITE_P(
                       HashSweep{100, 40, 100, 0.1, 0.1},
                       HashSweep{33, 77, 55, 0.02, 0.5}));
 
-TEST(SpgemmWith, DispatchesBothAlgorithms) {
+TEST(SpgemmDispatch, AutoMatchesForcedKernels) {
   const CsrMatrix a = random_csr(10, 10, 0.4, 220);
   const CsrMatrix b = random_csr(10, 10, 0.4, 221);
-  EXPECT_TRUE(spgemm_with(SpgemmAlgorithm::kDenseAccumulator, a, b) ==
-              spgemm(a, b));
-  EXPECT_LT(max_abs_diff(spgemm_with(SpgemmAlgorithm::kHash, a, b), spgemm(a, b)),
-            1e-12);
+  EXPECT_TRUE(spgemm(a, b) == spgemm_dense(a, b));
+  EXPECT_TRUE(spgemm(a, b) == spgemm_hash(a, b));
+}
+
+TEST(SpgemmDispatch, EstimatorPrefersHashForSparseRowsOverWideOutput) {
+  // Tiny flop volume into a huge column space → the dense accumulator's
+  // O(cols) workspace cannot amortize.
+  EXPECT_EQ(spgemm_pick_kernel(16, 1 << 20), SpgemmKernel::kHash);
+  // Dense row blocks over a modest column space → dense wins.
+  EXPECT_EQ(spgemm_pick_kernel(1 << 20, 1024), SpgemmKernel::kDense);
 }
 
 }  // namespace
