@@ -41,6 +41,10 @@ int main() {
     cfg.fanouts = arch().sage_fanout;
     cfg.hidden = arch().hidden;
     cfg.bulk_k = k == nbatches ? 0 : k;
+    // This ablation isolates the §4 bulk-amortization mechanism itself; the
+    // staged executor would re-slice k=all into prefetch rounds (and hide
+    // overheads it adds), confounding the per-round overhead column.
+    cfg.overlap = false;
 
     Pipeline p_ovh(c_ovh, ds, cfg);
     const double overhead = p_ovh.run_epoch(0).sampling;

@@ -1,0 +1,140 @@
+// Ablation: staged-executor overlap × feature-cache policy (DESIGN.md §6).
+//
+// Crosses the executor schedule {sync, overlap} with the feature-row cache
+// {none, LRU, degree-pinned} on the Figure 4 replicated SAGE workload and
+// reports the per-epoch breakdown: total / fetch / overlap-saved / stall /
+// cache hit rate / bytes moved. Two epochs per variant show the cold → warm
+// cache transition. The training arithmetic is identical in every variant —
+// the epoch losses must match bit-for-bit, and the harness exits nonzero if
+// they (or the overlap win) ever diverge, which is what the CI smoke gate
+// (`--smoke`) locks in.
+//
+//   ./ablation_overlap_cache [--smoke] [--csv=PATH]
+//
+// --smoke shrinks the dataset (seconds, CI-friendly); --csv emits the
+// bench_util.hpp CSV conventions keyed on (bench, case, epoch).
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace dms;
+using namespace dms::bench;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool overlap;
+  CachePolicy policy;
+};
+
+constexpr Variant kVariants[] = {
+    {"sync/none", false, CachePolicy::kNone},
+    {"sync/lru", false, CachePolicy::kLru},
+    {"ovl/none", true, CachePolicy::kNone},
+    {"ovl/lru", true, CachePolicy::kLru},
+    {"ovl/pinned", true, CachePolicy::kDegreePinned},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--csv=", 6) == 0) {
+      csv_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--csv=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  print_header("Ablation: staged overlap x feature cache (replicated SAGE, per-epoch)");
+  StandInConfig dcfg;
+  dcfg.feature_dim = arch().features;
+  if (smoke) dcfg.scale_shift = -2;
+  const Dataset ds = make_standin_by_name("products", dcfg);
+  std::fprintf(stderr, "[bench] generated %s\n", ds.graph.summary(ds.name).c_str());
+
+  const LinkParams links = perlmutter_links();
+  const int p = 8, c = 2;
+  const index_t nbatches = ds.num_batches(arch().sage_batch);
+  const index_t cache_rows = ds.num_vertices() / 8;
+  const int epochs = 2;
+
+  std::printf("p=%d c=%d, bulk k=%lld of %lld minibatches, cache capacity %lld rows/rank\n\n",
+              p, c, static_cast<long long>(std::max<index_t>(p, nbatches / 4)),
+              static_cast<long long>(nbatches), static_cast<long long>(cache_rows));
+  print_row({"variant", "epoch", "total", "sampling", "fetch", "prop", "saved",
+             "stall", "hit%", "MB moved", "loss"},
+            11);
+
+  CsvWriter csv(csv_path.empty() ? "/dev/null" : csv_path,
+                {"bench", "case", "epoch", "total_ms", "sampling_ms", "fetch_ms",
+                 "prop_ms", "saved_ms", "stall_ms", "hit_rate", "bytes_moved"});
+
+  // losses[e] per variant must agree bit-for-bit.
+  std::vector<std::vector<double>> losses(static_cast<std::size_t>(epochs));
+  double sync_total = 0.0, overlap_cached_total = 0.0;
+
+  for (const Variant& v : kVariants) {
+    PipelineConfig cfg;
+    cfg.sampler = SamplerKind::kGraphSage;
+    cfg.mode = DistMode::kReplicated;
+    cfg.batch_size = arch().sage_batch;
+    cfg.fanouts = arch().sage_fanout;
+    cfg.hidden = arch().hidden;
+    cfg.bulk_k = std::max<index_t>(p, nbatches / 4);
+    cfg.overlap = v.overlap;
+    cfg.feature_cache = {v.policy, v.policy == CachePolicy::kNone ? 0 : cache_rows};
+
+    Cluster cluster(ProcessGrid(p, c), CostModel(links));
+    Pipeline pipe(cluster, ds, cfg);
+    double total_sum = 0.0;
+    for (int e = 0; e < epochs; ++e) {
+      const EpochStats s = pipe.run_epoch(e);
+      total_sum += s.total;
+      losses[static_cast<std::size_t>(e)].push_back(s.loss);
+      const double hit_pct = cache_hit_pct(s.cache_hits, s.cache_misses);
+      print_row({v.name, std::to_string(e), fmt(s.total), fmt(s.sampling),
+                 fmt(s.fetch), fmt(s.propagation), fmt(s.overlap_saved),
+                 fmt(s.stall), fmt(hit_pct, 1),
+                 fmt(static_cast<double>(s.fetch_bytes) / 1e6, 2), fmt(s.loss, 6)},
+                11);
+      csv.row({"ablation_overlap_cache", v.name, std::to_string(e),
+               fmt(s.total * 1e3), fmt(s.sampling * 1e3), fmt(s.fetch * 1e3),
+               fmt(s.propagation * 1e3), fmt(s.overlap_saved * 1e3),
+               fmt(s.stall * 1e3), fmt(hit_pct, 1),
+               std::to_string(s.fetch_bytes)});
+    }
+    if (std::strcmp(v.name, "sync/none") == 0) sync_total = total_sum;
+    if (std::strcmp(v.name, "ovl/lru") == 0) overlap_cached_total = total_sum;
+  }
+
+  // --- Gate: bit-identical losses across every variant, overlap+cache wins.
+  bool ok = true;
+  for (int e = 0; e < epochs; ++e) {
+    for (const double l : losses[static_cast<std::size_t>(e)]) {
+      if (l != losses[static_cast<std::size_t>(e)][0]) {
+        std::fprintf(stderr,
+                     "FAIL: epoch %d losses diverge across variants (%.17g vs %.17g)\n",
+                     e, l, losses[static_cast<std::size_t>(e)][0]);
+        ok = false;
+      }
+    }
+  }
+  const double gain = sync_total > 0.0 ? 1.0 - overlap_cached_total / sync_total : 0.0;
+  std::printf("\noverlap/lru vs sync/none: %.1f%% lower simulated epoch time "
+              "(losses bit-identical across all %zu variants)\n",
+              100.0 * gain, std::size(kVariants));
+  if (gain <= 0.0) {
+    std::fprintf(stderr, "FAIL: staged executor did not beat the sync path\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

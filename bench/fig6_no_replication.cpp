@@ -23,6 +23,9 @@ EpochStats run_point(const Dataset& ds, int p, int c, double k_fraction) {
   cfg.bulk_k = k_fraction >= 1.0
                    ? 0
                    : std::max<index_t>(p, static_cast<index_t>(k_fraction * nbatches));
+  // Bulk-synchronous accounting: this figure isolates the fetch phase's
+  // c-scaling, which overlap crediting would partially hide.
+  cfg.overlap = false;
   Pipeline pipe(cluster, ds, cfg);
   return pipe.run_epoch(0);
 }

@@ -46,6 +46,11 @@ void Cluster::add_overhead(const std::string& phase, double seconds) {
   compute_time_[phase] += seconds;  // overheads are device-side, not scaled
 }
 
+void Cluster::credit_overlap(double seconds) {
+  check(seconds >= 0.0, "credit_overlap: negative overlap credit");
+  overlap_credit_ += seconds;
+}
+
 double Cluster::total_compute() const {
   double t = 0.0;
   for (const auto& [_, sec] : compute_time_) t += sec;
@@ -72,6 +77,7 @@ double Cluster::phase_time(const std::string& phase) const {
 void Cluster::reset_clock() {
   compute_time_.clear();
   comm_stats_.clear();
+  overlap_credit_ = 0.0;
 }
 
 }  // namespace dms

@@ -13,6 +13,7 @@
 // bulk-synchronous GPU pipeline (Figure 3) without GPUs. See DESIGN.md §2.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <string>
@@ -75,6 +76,18 @@ class Cluster {
   /// Adds a fixed overhead (e.g. per-minibatch kernel-launch cost).
   void add_overhead(const std::string& phase, double seconds);
 
+  /// Credits `seconds` of already-recorded time as hidden behind a stage
+  /// that executes concurrently (the staged executor's max(compute, comm)
+  /// composition: a prefetched feature fetch runs under propagation, a bulk
+  /// sampling round under the previous round's training). Per-phase
+  /// breakdowns keep the full stage costs; only total_time() subtracts the
+  /// credit. Callers must credit at most min(hidden stage, covering stage),
+  /// so the credit can never exceed the recorded clock.
+  void credit_overlap(double seconds);
+
+  /// Total simulated seconds credited as overlapped since reset_clock().
+  double overlap_credit() const { return overlap_credit_; }
+
   /// Simulated seconds per compute phase (already scaled by compute_scale).
   const std::map<std::string, double>& compute_time() const { return compute_time_; }
   /// Simulated seconds and volumes per communication phase.
@@ -82,7 +95,10 @@ class Cluster {
 
   double total_compute() const;
   double total_comm() const;
-  double total_time() const { return total_compute() + total_comm(); }
+  /// Simulated wall clock: compute + comm minus the overlapped credit.
+  double total_time() const {
+    return std::max(0.0, total_compute() + total_comm() - overlap_credit_);
+  }
 
   /// Seconds for a single phase across compute + comm tables.
   double phase_time(const std::string& phase) const;
@@ -94,6 +110,7 @@ class Cluster {
   CostModel model_;
   std::map<std::string, double> compute_time_;
   std::map<std::string, CommStats> comm_stats_;
+  double overlap_credit_ = 0.0;
 };
 
 }  // namespace dms

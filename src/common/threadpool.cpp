@@ -1,6 +1,7 @@
 #include "common/threadpool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace dms {
 
@@ -87,7 +88,15 @@ void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn)
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
+  // DMS_THREADS pins the pool size (CI runs the pipeline suites at 1 and 4
+  // to lock in thread-count determinism); default is the hardware size.
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("DMS_THREADS"); env != nullptr) {
+      const int n = std::atoi(env);
+      if (n > 0) return n;
+    }
+    return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }());
   return pool;
 }
 

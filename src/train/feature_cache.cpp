@@ -1,0 +1,40 @@
+#include "train/feature_cache.hpp"
+
+namespace dms {
+
+FeatureRowCache::FeatureRowCache(FeatureCacheConfig cfg) : cfg_(cfg) {
+  check(cfg_.capacity_rows >= 0, "FeatureRowCache: negative capacity");
+}
+
+bool FeatureRowCache::lookup(index_t v) {
+  if (!enabled()) return false;
+  if (pinned_.count(v) > 0) return true;
+  const auto it = pos_.find(v);
+  if (it == pos_.end()) return false;
+  order_.splice(order_.end(), order_, it->second);  // refresh recency
+  return true;
+}
+
+void FeatureRowCache::insert(index_t v) {
+  if (!enabled() || cfg_.policy != CachePolicy::kLru) return;
+  if (pos_.count(v) > 0 || pinned_.count(v) > 0) return;
+  if (size() >= cfg_.capacity_rows) {
+    if (order_.empty()) return;  // fully pinned: nothing evictable
+    pos_.erase(order_.front());
+    order_.pop_front();
+  }
+  pos_.emplace(v, order_.insert(order_.end(), v));
+}
+
+void FeatureRowCache::pin(const std::vector<index_t>& rows) {
+  if (!enabled()) return;
+  for (const index_t v : rows) pinned_.insert(v);
+  check(static_cast<index_t>(pinned_.size()) <= cfg_.capacity_rows,
+        "FeatureRowCache: pinned set exceeds capacity");
+}
+
+std::vector<index_t> FeatureRowCache::lru_order() const {
+  return {order_.begin(), order_.end()};
+}
+
+}  // namespace dms

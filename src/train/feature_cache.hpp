@@ -1,0 +1,99 @@
+// Per-rank cache of remote feature rows (§8.1.2 cost reduction, the
+// Quiver-style hot-vertex cache generalized to the 1.5D layout).
+//
+// The cache tracks *which* vertex rows are resident on a rank — the
+// simulator always reads row data from the canonical feature matrix, so
+// caching changes only the bytes that cross the all-to-allv, never the
+// values a training step sees. Two policies:
+//
+//  - kLru: rows become resident when fetched and are evicted in
+//    least-recently-used order once `capacity_rows` is reached;
+//  - kDegreePinned: a static set of rows (the caller pins the top-degree
+//    vertices, à la Quiver's hotness cache) is resident for the whole run
+//    and nothing else is ever admitted.
+//
+// A zero capacity (or kNone) degenerates to the uncached behavior: every
+// remote row is a miss and moves over the wire.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dms {
+
+enum class CachePolicy { kNone, kLru, kDegreePinned };
+
+struct FeatureCacheConfig {
+  CachePolicy policy = CachePolicy::kNone;
+  /// Maximum resident rows per rank. 0 disables caching for any policy.
+  index_t capacity_rows = 0;
+};
+
+/// Aggregate accounting across every fetch a store performed. Every
+/// requested row is classified exactly once: resident in the requester's
+/// own block row (`local`), resident in its cache (`hits`), or shipped
+/// over the all-to-allv (`misses`) — so hits + misses + local == requested.
+struct FeatureCacheStats {
+  std::size_t requested = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t local = 0;
+  std::size_t bytes_moved = 0;  ///< payload that crossed the wire
+  std::size_t bytes_saved = 0;  ///< payload avoided by cache hits
+
+  FeatureCacheStats operator-(const FeatureCacheStats& o) const {
+    return {requested - o.requested, hits - o.hits,     misses - o.misses,
+            local - o.local,         bytes_moved - o.bytes_moved,
+            bytes_saved - o.bytes_saved};
+  }
+};
+
+/// Hit percentage over the classified remote rows (hits + misses; local
+/// rows are free either way). 0 when nothing remote was requested.
+inline double cache_hit_pct(std::size_t hits, std::size_t misses) {
+  const std::size_t classified = hits + misses;
+  return classified == 0
+             ? 0.0
+             : 100.0 * static_cast<double>(hits) / static_cast<double>(classified);
+}
+
+/// One rank's residency set. Lookup/insert are O(1); the LRU order is an
+/// intrusive list so eviction is O(1) too.
+class FeatureRowCache {
+ public:
+  FeatureRowCache() = default;
+  explicit FeatureRowCache(FeatureCacheConfig cfg);
+
+  bool enabled() const {
+    return cfg_.policy != CachePolicy::kNone && cfg_.capacity_rows > 0;
+  }
+  index_t capacity() const { return enabled() ? cfg_.capacity_rows : 0; }
+  index_t size() const { return static_cast<index_t>(pos_.size() + pinned_.size()); }
+
+  /// True if `v` is resident. LRU: a hit refreshes v's recency.
+  bool lookup(index_t v);
+
+  /// Admits `v` after a miss. LRU: evicts the least-recently-used row when
+  /// at capacity. Pinned caches are static — insert is a no-op.
+  void insert(index_t v);
+
+  /// Pins `rows` as permanently resident (kDegreePinned). Throws if the
+  /// pinned set exceeds capacity.
+  void pin(const std::vector<index_t>& rows);
+
+  /// Resident non-pinned rows, least-recently-used first.
+  std::vector<index_t> lru_order() const;
+
+ private:
+  FeatureCacheConfig cfg_;
+  std::list<index_t> order_;  ///< LRU list, least-recent at front
+  std::unordered_map<index_t, std::list<index_t>::iterator> pos_;
+  std::unordered_set<index_t> pinned_;
+};
+
+}  // namespace dms

@@ -6,21 +6,55 @@
 
 namespace dms {
 
-FeatureStore::FeatureStore(const ProcessGrid& grid, const DenseF& features)
-    : part_(features.rows(), grid.rows()), dim_(features.cols()), features_(&features) {}
+FeatureStore::FeatureStore(const ProcessGrid& grid, const DenseF& features,
+                           FeatureStoreOptions opts)
+    : part_(features.rows(), grid.rows()),
+      dim_(features.cols()),
+      opts_(opts),
+      src_rows_(features.rows()),
+      caches_(static_cast<std::size_t>(grid.size()), FeatureRowCache(opts.cache)) {
+  if (opts_.own_copy) {
+    owned_ = features;
+    features_ = &owned_;
+  } else {
+    features_ = &features;
+  }
+}
+
+const DenseF& FeatureStore::source() const {
+#ifndef NDEBUG
+  // A dangling borrow usually shows up as a moved-from or destroyed source
+  // whose shape no longer matches the one captured at construction.
+  check(features_->rows() == src_rows_ && features_->cols() == dim_,
+        "FeatureStore: borrowed feature matrix changed shape — the source "
+        "must outlive the store (or construct with own_copy)");
+#endif
+  return *features_;
+}
 
 std::size_t FeatureStore::block_bytes(index_t i) const {
   return static_cast<std::size_t>(part_.size(i)) * static_cast<std::size_t>(dim_) *
          sizeof(float);
 }
 
+std::size_t FeatureStore::cache_bytes() const {
+  return caches_.empty() ? 0
+                         : static_cast<std::size_t>(caches_[0].capacity()) *
+                               static_cast<std::size_t>(dim_) * sizeof(float);
+}
+
+void FeatureStore::pin_rows(const std::vector<index_t>& rows) {
+  for (auto& c : caches_) c.pin(rows);
+}
+
 std::vector<DenseF> FeatureStore::fetch_all(
     Cluster& cluster, const std::vector<std::vector<index_t>>& wanted,
-    const std::string& phase) const {
+    const std::string& phase) {
   const ProcessGrid& grid = cluster.grid();
   check(static_cast<int>(wanted.size()) == grid.size(),
         "FeatureStore::fetch_all: need one request list per rank");
   const CostModel& model = cluster.cost_model();
+  const DenseF& h = source();
   const std::size_t row_bytes = static_cast<std::size_t>(dim_) * sizeof(float);
 
   std::vector<DenseF> out(wanted.size());
@@ -40,17 +74,25 @@ std::vector<DenseF> FeatureStore::fetch_all(
     for (std::size_t ii = 0; ii < nranks; ++ii) {
       const int rank = col[ii];
       const int my_row = grid.row_of(rank);
+      FeatureRowCache& cache = caches_[static_cast<std::size_t>(rank)];
       Timer t;
       const auto& req = wanted[static_cast<std::size_t>(rank)];
+      stats_.requested += req.size();
       DenseF gathered(static_cast<index_t>(req.size()), dim_);
       for (std::size_t q = 0; q < req.size(); ++q) {
         const index_t v = req[q];
-        std::copy(features_->row(v), features_->row(v) + dim_,
-                  gathered.row(static_cast<index_t>(q)));
+        std::copy(h.row(v), h.row(v) + dim_, gathered.row(static_cast<index_t>(q)));
         const index_t owner_row = part_.owner(v);
-        if (owner_row != my_row) {
-          // Row shipped from (owner_row, j) to (my_row, j).
+        if (owner_row == my_row) {
+          ++stats_.local;
+        } else if (cache.lookup(v)) {
+          ++stats_.hits;
+          stats_.bytes_saved += row_bytes;
+        } else {
+          // Row shipped from (owner_row, j) to (my_row, j); now resident.
+          ++stats_.misses;
           send_bytes[static_cast<std::size_t>(owner_row)][ii] += row_bytes;
+          cache.insert(v);
         }
       }
       out[static_cast<std::size_t>(rank)] = std::move(gathered);
@@ -69,6 +111,7 @@ std::vector<DenseF> FeatureStore::fetch_all(
     }
   }
 
+  stats_.bytes_moved += total_bytes;
   cluster.add_compute(phase, max_gather);
   cluster.record_comm(phase, worst_column_comm, total_bytes, total_msgs);
   return out;

@@ -1,9 +1,14 @@
-// 1.5D-partitioned feature matrix H with all-to-allv fetching (§6.2).
+// 1.5D-partitioned feature matrix H with all-to-allv fetching (§6.2) and an
+// optional per-rank row cache.
 //
 // H is split into p/c block rows; block i is replicated on process row
 // P(i,:). Each process column P(:,j) holds the entire H, so a rank only
 // exchanges feature rows within its own column — which is why fetch time
-// scales with the replication factor c (§8.1.2).
+// scales with the replication factor c (§8.1.2). With a cache configured
+// (FeatureCacheConfig), each rank additionally keeps recently fetched (or
+// degree-pinned) remote rows resident, and fetch_all ships only the rows
+// that are neither local nor cached; hit/miss/byte accounting is exposed
+// through cache_stats().
 #pragma once
 
 #include <string>
@@ -12,33 +17,81 @@
 #include "comm/cluster.hpp"
 #include "graph/partition.hpp"
 #include "sparse/dense.hpp"
+#include "train/feature_cache.hpp"
 
 namespace dms {
+
+struct FeatureStoreOptions {
+  FeatureCacheConfig cache;
+  /// Copy the feature matrix into the store instead of borrowing it. Use
+  /// this whenever the source does not outlive the store (see the lifetime
+  /// contract on the constructor).
+  bool own_copy = false;
+};
 
 class FeatureStore {
  public:
   /// Partitions `features` (n × f) over grid.rows() block rows.
-  FeatureStore(const ProcessGrid& grid, const DenseF& features);
+  ///
+  /// Lifetime contract: unless `opts.own_copy` is set, the store only
+  /// *borrows* `features` — the caller must keep the source alive (and
+  /// unmodified in shape) for the store's whole lifetime. In particular,
+  /// never pass a temporary with `own_copy == false`. Debug builds guard
+  /// the common violations (source destroyed, moved-from, or reshaped) by
+  /// checking the source's shape on every fetch.
+  FeatureStore(const ProcessGrid& grid, const DenseF& features,
+               FeatureStoreOptions opts = {});
+
+  // Non-copyable/non-movable: with own_copy the borrowed pointer targets
+  // the store's own matrix, which a defaulted copy/move would leave
+  // pointing into the source object.
+  FeatureStore(const FeatureStore&) = delete;
+  FeatureStore& operator=(const FeatureStore&) = delete;
 
   index_t num_rows() const { return part_.total(); }
   index_t dim() const { return dim_; }
   const BlockPartition& partition() const { return part_; }
+  bool owns_features() const { return opts_.own_copy; }
 
   /// Bytes a rank in process row i stores.
   std::size_t block_bytes(index_t i) const;
 
+  /// Per-rank bytes of cache capacity (resident rows × row bytes).
+  std::size_t cache_bytes() const;
+
   /// Collective fetch: wanted[r] lists the global vertex ids rank r needs
   /// this training step. Performs the per-column all-to-allv (modeled cost,
-  /// real data movement) and returns one gathered (|wanted[r]| × f) matrix
-  /// per rank. Records comm + gather compute under `phase`.
+  /// real data movement) for the rows that are neither block-local nor
+  /// cache-resident on the requester, and returns one gathered
+  /// (|wanted[r]| × f) matrix per rank. Records comm + gather compute under
+  /// `phase`; classifies every requested row into cache_stats().
   std::vector<DenseF> fetch_all(Cluster& cluster,
                                 const std::vector<std::vector<index_t>>& wanted,
-                                const std::string& phase = "fetch") const;
+                                const std::string& phase = "fetch");
+
+  /// Pins `rows` resident in every rank's cache (kDegreePinned policy; the
+  /// pipeline pins the top-degree vertices).
+  void pin_rows(const std::vector<index_t>& rows);
+
+  /// Cumulative accounting across every fetch_all since construction.
+  const FeatureCacheStats& cache_stats() const { return stats_; }
+
+  /// Direct access to rank r's cache (tests).
+  const FeatureRowCache& cache(int rank) const {
+    return caches_[static_cast<std::size_t>(rank)];
+  }
 
  private:
+  const DenseF& source() const;
+
   BlockPartition part_;
   index_t dim_ = 0;
-  const DenseF* features_;  ///< borrowed; simulator reads rows directly
+  FeatureStoreOptions opts_;
+  DenseF owned_;            ///< populated only when opts_.own_copy
+  const DenseF* features_;  ///< borrowed unless opts_.own_copy; see contract
+  index_t src_rows_ = 0;    ///< shape at construction (debug lifetime guard)
+  std::vector<FeatureRowCache> caches_;  ///< one per rank
+  FeatureCacheStats stats_;
 };
 
 }  // namespace dms

@@ -1,19 +1,16 @@
 #include "train/pipeline.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/rng.hpp"
-#include "common/timer.hpp"
 #include "core/minibatch.hpp"
 #include "graph/partition.hpp"
+#include "train/staged_pipeline.hpp"
 
 namespace dms {
 
 namespace {
-
-/// Kernel launches per layer of the bulk sampling pass (SpGEMM, prefix sum,
-/// sample, extract) — the per-call overhead that bulk sampling amortizes.
-constexpr double kKernelsPerLayer = 4.0;
 
 ModelConfig make_model_config(const Dataset& ds, const PipelineConfig& cfg) {
   ModelConfig mc;
@@ -25,21 +22,42 @@ ModelConfig make_model_config(const Dataset& ds, const PipelineConfig& cfg) {
   return mc;
 }
 
+/// The capacity_rows highest-out-degree vertices (ties broken by lower id),
+/// the pinned set of the kDegreePinned cache policy.
+std::vector<index_t> top_degree_vertices(const Graph& graph, index_t count) {
+  std::vector<index_t> order(static_cast<std::size_t>(graph.num_vertices()));
+  std::iota(order.begin(), order.end(), index_t{0});
+  count = std::min<index_t>(count, graph.num_vertices());
+  std::partial_sort(order.begin(), order.begin() + count, order.end(),
+                    [&](index_t a, index_t b) {
+                      const index_t da = graph.out_degree(a);
+                      const index_t db = graph.out_degree(b);
+                      return da != db ? da > db : a < b;
+                    });
+  order.resize(static_cast<std::size_t>(count));
+  return order;
+}
+
 }  // namespace
 
 Pipeline::Pipeline(Cluster& cluster, const Dataset& dataset, PipelineConfig config)
     : cluster_(cluster),
       ds_(dataset),
       cfg_(std::move(config)),
-      features_(cluster.grid(), dataset.features),
+      features_(cluster.grid(), dataset.features, FeatureStoreOptions{cfg_.feature_cache, false}),
       model_(make_model_config(dataset, cfg_)) {
   check(!cfg_.fanouts.empty(), "Pipeline: fanouts must be non-empty");
+  if (cfg_.feature_cache.policy == CachePolicy::kDegreePinned &&
+      cfg_.feature_cache.capacity_rows > 0) {
+    features_.pin_rows(
+        top_degree_vertices(ds_.graph, cfg_.feature_cache.capacity_rows));
+  }
   SamplerContext ctx;
   ctx.config = SamplerConfig{cfg_.fanouts, cfg_.seed};
   ctx.grid = &cluster_.grid();
   ctx.part_opts = cfg_.part_opts;
-  // sample_epoch drives the cluster-explicit distributed API itself; the
-  // binding only ensures that any generic MatrixSampler use of sampler_
+  // The staged executor drives the cluster-explicit distributed API itself;
+  // the binding only ensures that any generic MatrixSampler use of sampler_
   // records its phases on this pipeline's clock rather than an ephemeral one.
   ctx.cluster = &cluster_;
   sampler_ = make_sampler(cfg_.sampler, cfg_.mode, ds_.graph, ctx);
@@ -51,141 +69,8 @@ Pipeline::Pipeline(Cluster& cluster, const Dataset& dataset, PipelineConfig conf
                    : std::unique_ptr<Optimizer>(std::make_unique<Sgd>(cfg_.lr, 0.9f));
 }
 
-std::vector<std::vector<MinibatchSample>> Pipeline::sample_epoch(
-    const std::vector<std::vector<index_t>>& batches, std::uint64_t epoch_seed) {
-  const int p = cluster_.size();
-  const auto k_total = static_cast<index_t>(batches.size());
-  std::vector<std::vector<MinibatchSample>> per_rank(static_cast<std::size_t>(p));
-  const double launch = cluster_.cost_model().link().launch_overhead;
-  const auto num_layers = static_cast<double>(cfg_.fanouts.size());
-
-  if (cfg_.mode == DistMode::kReplicated) {
-    // §5.1/§6.1: each rank samples k/p minibatches with zero communication,
-    // in bulk rounds of (bulk_k / p) minibatches.
-    const BlockPartition assign(k_total, p);
-    const index_t bulk_per_rank =
-        cfg_.bulk_k <= 0 ? k_total : std::max<index_t>(1, ceil_div(cfg_.bulk_k, p));
-    double max_t = 0.0;
-    index_t max_rounds = 0;
-    for (int r = 0; r < p; ++r) {
-      Timer t;
-      index_t rounds = 0;
-      for (index_t b0 = assign.begin(r); b0 < assign.end(r); b0 += bulk_per_rank) {
-        const index_t b1 = std::min<index_t>(assign.end(r), b0 + bulk_per_rank);
-        std::vector<std::vector<index_t>> chunk(batches.begin() + b0,
-                                                batches.begin() + b1);
-        std::vector<index_t> ids(static_cast<std::size_t>(b1 - b0));
-        for (index_t b = b0; b < b1; ++b) ids[static_cast<std::size_t>(b - b0)] = b;
-        auto samples = sampler_->sample_bulk(chunk, ids, epoch_seed);
-        for (auto& s : samples) per_rank[static_cast<std::size_t>(r)].push_back(std::move(s));
-        ++rounds;
-      }
-      max_t = std::max(max_t, t.seconds());
-      max_rounds = std::max(max_rounds, rounds);
-    }
-    cluster_.add_compute("sampling", max_t);
-    // Bulk sampling launches O(L) kernels per *round*, not per minibatch —
-    // the amortization of §4.
-    cluster_.add_overhead("sampling", launch * kKernelsPerLayer * num_layers *
-                                          static_cast<double>(max_rounds));
-    return per_rank;
-  }
-
-  // Graph Partitioned: batches are owned by process rows; each row's c
-  // replicas split its minibatches for training.
-  std::vector<index_t> ids(static_cast<std::size_t>(k_total));
-  for (index_t b = 0; b < k_total; ++b) ids[static_cast<std::size_t>(b)] = b;
-  auto per_row = partitioned_->sample_bulk(cluster_, batches, ids, epoch_seed);
-  cluster_.add_overhead(kPhaseSampling,
-                        launch * kKernelsPerLayer * num_layers);
-  const ProcessGrid& grid = cluster_.grid();
-  for (int i = 0; i < grid.rows(); ++i) {
-    auto& row_samples = per_row[static_cast<std::size_t>(i)];
-    for (std::size_t b = 0; b < row_samples.size(); ++b) {
-      const int j = static_cast<int>(b) % grid.replication();
-      per_rank[static_cast<std::size_t>(grid.rank_of(i, j))].push_back(
-          std::move(row_samples[b]));
-    }
-  }
-  return per_rank;
-}
-
 EpochStats Pipeline::run_epoch(int epoch) {
-  cluster_.reset_clock();
-  const std::uint64_t epoch_seed = derive_seed(cfg_.seed, 0xe90c, static_cast<std::uint64_t>(epoch));
-  const auto batches = make_epoch_batches(ds_.train_idx, cfg_.batch_size, epoch_seed);
-
-  auto per_rank = sample_epoch(batches, epoch_seed);
-
-  const int p = cluster_.size();
-  std::size_t steps = 0;
-  for (const auto& q : per_rank) steps = std::max(steps, q.size());
-
-  double loss_sum = 0.0;
-  index_t correct = 0, seen = 0;
-  const std::size_t param_bytes = model_.param_bytes();
-
-  for (std::size_t t = 0; t < steps; ++t) {
-    // --- Feature fetching: all-to-allv across process columns (§6.2). ---
-    std::vector<std::vector<index_t>> wanted(static_cast<std::size_t>(p));
-    for (int r = 0; r < p; ++r) {
-      if (t < per_rank[static_cast<std::size_t>(r)].size()) {
-        wanted[static_cast<std::size_t>(r)] =
-            per_rank[static_cast<std::size_t>(r)][t].input_vertices();
-      }
-    }
-    auto gathered = features_.fetch_all(cluster_, wanted, "fetch");
-
-    // --- Propagation: fwd/bwd per rank, then gradient all-reduce. ---
-    double max_prop = 0.0;
-    int active = 0;
-    for (int r = 0; r < p; ++r) {
-      if (t >= per_rank[static_cast<std::size_t>(r)].size()) continue;
-      const MinibatchSample& sample = per_rank[static_cast<std::size_t>(r)][t];
-      std::vector<int> labels(sample.batch_vertices.size());
-      for (std::size_t i = 0; i < labels.size(); ++i) {
-        labels[i] = ds_.labels[static_cast<std::size_t>(sample.batch_vertices[i])];
-      }
-      Timer timer;
-      const LossResult res =
-          model_.train_step(sample, gathered[static_cast<std::size_t>(r)], labels);
-      max_prop = std::max(max_prop, timer.seconds());
-      loss_sum += res.loss * static_cast<double>(labels.size());
-      correct += res.correct;
-      seen += static_cast<index_t>(labels.size());
-      ++active;
-    }
-    if (active > 0) {
-      // Shared-model gradient accumulation across ranks == all-reduce sum;
-      // average and step once (identical to synchronous DDP).
-      Timer timer;
-      model_.scale_grads(1.0f / static_cast<float>(active));
-      optimizer_->step(model_.params());
-      model_.zero_grads();
-      cluster_.add_compute("propagation", max_prop + timer.seconds());
-      if (p > 1) {
-        cluster_.record_comm(
-            "propagation",
-            cluster_.cost_model().allreduce(cluster_.grid().all_ranks(), param_bytes),
-            param_bytes * static_cast<std::size_t>(p), static_cast<std::size_t>(2 * (p - 1)));
-      }
-    }
-  }
-
-  EpochStats stats;
-  stats.sampling = cluster_.phase_time("sampling") +
-                   cluster_.phase_time(kPhaseProbability) +
-                   cluster_.phase_time(kPhaseExtraction);
-  stats.fetch = cluster_.phase_time("fetch");
-  stats.propagation = cluster_.phase_time("propagation");
-  stats.total = cluster_.total_time();
-  stats.loss = seen > 0 ? loss_sum / static_cast<double>(seen) : 0.0;
-  stats.train_acc = seen > 0 ? static_cast<double>(correct) / static_cast<double>(seen) : 0.0;
-  stats.compute_phases = cluster_.compute_time();
-  for (const auto& [phase, s] : cluster_.comm_stats()) {
-    stats.comm_phases[phase] = s.seconds;
-  }
-  return stats;
+  return StagedPipeline(*this).run(epoch);
 }
 
 double Pipeline::evaluate(const std::vector<index_t>& idx,
@@ -228,6 +113,7 @@ std::size_t Pipeline::per_rank_bytes(int rank) const {
   const ProcessGrid& grid = cluster_.grid();
   std::size_t bytes = model_.param_bytes();
   bytes += features_.block_bytes(grid.row_of(rank));
+  bytes += features_.cache_bytes();
   if (partitioned_ != nullptr) {
     bytes += partitioned_->dist_adjacency().block_bytes(grid.row_of(rank));
   } else {

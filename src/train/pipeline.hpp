@@ -4,7 +4,15 @@
 //   (2) per training step, all-to-allv feature fetching across process
 //       columns of the 1.5D feature store,
 //   (3) forward/backward propagation + data-parallel gradient all-reduce,
-// repeated bulk-synchronously until every minibatch of the epoch is trained.
+// repeated until every minibatch of the epoch is trained.
+//
+// Epochs execute through the staged executor (train/staged_pipeline.hpp):
+// bulk rounds, feature fetches and propagation are discrete stages, and
+// with PipelineConfig::overlap the simulated clock composes concurrent
+// stages as max(compute, comm) instead of a sum — fetch t+1 hides under
+// propagation t, sampling round g+1 under the training of round g. The
+// synchronous path (overlap = false) runs the same arithmetic, so both
+// paths produce bit-identical losses.
 #pragma once
 
 #include <map>
@@ -36,15 +44,45 @@ struct PipelineConfig {
   bool use_adam = true;
   std::uint64_t seed = 7;
   PartitionedSamplerOptions part_opts;
+  /// Staged overlapped executor (DESIGN.md §6): credit prefetched stages —
+  /// the feature fetch of step t+1 under the propagation of step t, bulk
+  /// sampling round g+1 under the training of round g — on the simulated
+  /// clock. false = the original strictly sequential accounting. The
+  /// arithmetic is identical either way (losses are bit-identical).
+  bool overlap = true;
+  /// Overlap mode with bulk_k == 0 ("k=all"): the staged executor still
+  /// splits the epoch into this many sampling rounds so rounds 2..G can be
+  /// prefetched behind training — a monolithic upfront bulk has nothing to
+  /// overlap with. 1 = keep the single bulk. Ignored when bulk_k > 0
+  /// (bulk_k sets the round size) or when overlap is off. Round slicing
+  /// never changes the samples (the determinism contract), only the clock.
+  index_t prefetch_rounds = 4;
+  /// Per-rank feature-row cache (policy + capacity in rows). kDegreePinned
+  /// pins the capacity_rows highest-out-degree vertices.
+  FeatureCacheConfig feature_cache;
 };
 
 struct EpochStats {
   double sampling = 0.0;      ///< simulated seconds in the sampling step
   double fetch = 0.0;         ///< feature-fetch all-to-allv
   double propagation = 0.0;   ///< fwd/bwd + gradient all-reduce
-  double total = 0.0;
+  double total = 0.0;         ///< wall clock: all phases minus overlap_saved
   double loss = 0.0;
   double train_acc = 0.0;
+  /// Simulated seconds of prefetchable work (sampling rounds + feature
+  /// fetches) hidden behind concurrent stages by the overlapped executor.
+  double overlap_saved = 0.0;
+  /// Prefetchable seconds left exposed on the critical path (pipeline fill
+  /// plus stalls where the covering stage was too short). For an overlapped
+  /// epoch, overlap_saved + stall == sampling + fetch exactly.
+  double stall = 0.0;
+  /// Feature-fetch row classification for the epoch (see FeatureCacheStats):
+  /// every requested row is exactly one of hit / miss / local.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_local = 0;
+  std::size_t fetch_bytes = 0;        ///< feature payload that crossed the wire
+  std::size_t fetch_bytes_saved = 0;  ///< payload avoided by cache hits
   std::map<std::string, double> compute_phases;  ///< full breakdown
   std::map<std::string, double> comm_phases;
 };
@@ -68,15 +106,12 @@ class Pipeline {
   SageModel& model() { return model_; }
   const FeatureStore& features() const { return features_; }
 
-  /// Approximate per-rank device memory (adjacency + feature block + model),
-  /// for reproducing the paper's memory-capped (c, k) choices.
+  /// Approximate per-rank device memory (adjacency + feature block + cache
+  /// + model), for reproducing the paper's memory-capped (c, k) choices.
   std::size_t per_rank_bytes(int rank) const;
 
  private:
-  /// Samples every minibatch of the epoch in bulk rounds, returning each
-  /// rank's training queue.
-  std::vector<std::vector<MinibatchSample>> sample_epoch(
-      const std::vector<std::vector<index_t>>& batches, std::uint64_t epoch_seed);
+  friend class StagedPipeline;  ///< the epoch executor drives the components
 
   Cluster& cluster_;
   const Dataset& ds_;

@@ -1,0 +1,278 @@
+#include "train/staged_pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/minibatch.hpp"
+#include "graph/partition.hpp"
+
+namespace dms {
+
+namespace {
+
+/// Kernel launches per layer of the bulk sampling pass (SpGEMM, prefix sum,
+/// sample, extract) — the per-call overhead that bulk sampling amortizes.
+constexpr double kKernelsPerLayer = 4.0;
+
+bool has_sample(const MinibatchSample& s) { return !s.batch_vertices.empty(); }
+
+}  // namespace
+
+double StagedPipeline::clock() const {
+  return p_.cluster_.total_compute() + p_.cluster_.total_comm();
+}
+
+EpochStats StagedPipeline::run(int epoch) {
+  Cluster& cluster = p_.cluster_;
+  const PipelineConfig& cfg = p_.cfg_;
+  cluster.reset_clock();
+  const std::uint64_t epoch_seed =
+      derive_seed(cfg.seed, 0xe90c, static_cast<std::uint64_t>(epoch));
+  const auto batches = make_epoch_batches(p_.ds_.train_idx, cfg.batch_size, epoch_seed);
+  batches_ = &batches;
+
+  const int p = cluster.size();
+  const auto k_total = static_cast<index_t>(batches.size());
+  if (cfg.mode == DistMode::kReplicated) {
+    // §5.1/§6.1: minibatches block-assigned to ranks; rank r trains its
+    // block in order, so its step count is its block size.
+    rank_assign_ = BlockPartition(k_total, p);
+    steps_ = k_total == 0 ? 0 : rank_assign_.size(0);
+  } else {
+    // §5.2: minibatches block-assigned to process rows; each row's c
+    // replicas round-robin its block, so step t trains local index t*c+j.
+    row_assign_ = BlockPartition(k_total, cluster.grid().rows());
+    steps_ = k_total == 0 ? 0
+                          : ceil_div(row_assign_.size(0),
+                                     static_cast<index_t>(cluster.grid().replication()));
+  }
+  queues_.assign(static_cast<std::size_t>(p),
+                 std::vector<MinibatchSample>(static_cast<std::size_t>(steps_)));
+
+  // Bulk rounds: cfg.bulk_k minibatches across all ranks per round. With
+  // k=all, the overlapped executor still slices the epoch into
+  // prefetch_rounds rounds — a monolithic bulk would leave nothing to
+  // double-buffer (the sync path keeps the single bulk of §6.1).
+  check(cfg.prefetch_rounds >= 1, "Pipeline: prefetch_rounds must be >= 1");
+  index_t bulk_steps = 0;
+  if (cfg.bulk_k > 0) {
+    bulk_steps = std::max<index_t>(1, ceil_div(cfg.bulk_k, p));
+  } else if (cfg.overlap && cfg.prefetch_rounds > 1 && steps_ > 0) {
+    bulk_steps = std::max<index_t>(1, ceil_div(steps_, cfg.prefetch_rounds));
+  }
+  const std::vector<BulkRound> rounds = plan_bulk_rounds(steps_, bulk_steps);
+
+  const FeatureCacheStats cache_before = p_.features_.cache_stats();
+  loss_sum_ = 0.0;
+  correct_ = seen_ = 0;
+  double stall = 0.0;
+  double prev_round_unhidden = 0.0;
+
+  for (std::size_t g = 0; g < rounds.size(); ++g) {
+    const double s_cost = sample_round(rounds[g], epoch_seed);
+    if (cfg.overlap) {
+      // Round g is sampled while round g-1 trains; round 0 is pipeline fill.
+      const double hid =
+          g == 0 ? 0.0 : std::min(s_cost, prev_round_unhidden);
+      cluster.credit_overlap(hid);
+      stall += s_cost - hid;
+    }
+
+    double round_unhidden = 0.0;
+    double prev_prop = -1.0;  // <0: no propagation yet in this round
+    for (index_t t = rounds[g].step_begin; t < rounds[g].step_end; ++t) {
+      std::vector<DenseF> gathered;
+      const double f_cost = fetch_step(t, gathered);
+      const double p_cost = train_step(t, gathered);
+      if (cfg.overlap) {
+        // The fetch for step t is issued during the propagation of step
+        // t-1; the round's first fetch has no propagation to hide under.
+        const double hid = prev_prop < 0.0 ? 0.0 : std::min(f_cost, prev_prop);
+        cluster.credit_overlap(hid);
+        stall += f_cost - hid;
+        round_unhidden += (f_cost - hid) + p_cost;
+      }
+      prev_prop = p_cost;
+    }
+    prev_round_unhidden = round_unhidden;
+  }
+
+  EpochStats stats;
+  stats.sampling = cluster.phase_time(kPhaseSampling) +
+                   cluster.phase_time(kPhaseProbability) +
+                   cluster.phase_time(kPhaseExtraction);
+  stats.fetch = cluster.phase_time("fetch");
+  stats.propagation = cluster.phase_time("propagation");
+  stats.total = cluster.total_time();
+  stats.loss = seen_ > 0 ? loss_sum_ / static_cast<double>(seen_) : 0.0;
+  stats.train_acc =
+      seen_ > 0 ? static_cast<double>(correct_) / static_cast<double>(seen_) : 0.0;
+  stats.overlap_saved = cluster.overlap_credit();
+  stats.stall = cfg.overlap ? stall : 0.0;
+  const FeatureCacheStats d = p_.features_.cache_stats() - cache_before;
+  stats.cache_hits = d.hits;
+  stats.cache_misses = d.misses;
+  stats.cache_local = d.local;
+  stats.fetch_bytes = d.bytes_moved;
+  stats.fetch_bytes_saved = d.bytes_saved;
+  stats.compute_phases = cluster.compute_time();
+  for (const auto& [phase, s] : cluster.comm_stats()) {
+    stats.comm_phases[phase] = s.seconds;
+  }
+  batches_ = nullptr;
+  return stats;
+}
+
+double StagedPipeline::sample_round(const BulkRound& round,
+                                    std::uint64_t epoch_seed) {
+  return p_.cfg_.mode == DistMode::kReplicated
+             ? replicated_round(round, epoch_seed)
+             : partitioned_round(round, epoch_seed);
+}
+
+double StagedPipeline::replicated_round(const BulkRound& round,
+                                        std::uint64_t epoch_seed) {
+  Cluster& cluster = p_.cluster_;
+  const double before = clock();
+  const int p = cluster.size();
+  const double launch = cluster.cost_model().link().launch_overhead;
+  const auto num_layers = static_cast<double>(p_.cfg_.fanouts.size());
+
+  // Each rank samples this round's slice of its block with zero
+  // communication; the round costs the max over ranks.
+  double max_t = 0.0;
+  for (int r = 0; r < p; ++r) {
+    const index_t b0 = rank_assign_.begin(r) + round.step_begin;
+    const index_t b1 =
+        std::min(rank_assign_.end(r), rank_assign_.begin(r) + round.step_end);
+    if (b0 >= b1) continue;
+    Timer t;
+    const std::vector<std::vector<index_t>> chunk(batches_->begin() + b0,
+                                                  batches_->begin() + b1);
+    std::vector<index_t> ids(static_cast<std::size_t>(b1 - b0));
+    for (index_t b = b0; b < b1; ++b) ids[static_cast<std::size_t>(b - b0)] = b;
+    auto samples = p_.sampler_->sample_bulk(chunk, ids, epoch_seed);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      queues_[static_cast<std::size_t>(r)]
+             [static_cast<std::size_t>(round.step_begin) + i] =
+          std::move(samples[i]);
+    }
+    max_t = std::max(max_t, t.seconds());
+  }
+  cluster.add_compute(kPhaseSampling, max_t);
+  // Bulk sampling launches O(L) kernels per *round*, not per minibatch —
+  // the amortization of §4.
+  cluster.add_overhead(kPhaseSampling, launch * kKernelsPerLayer * num_layers);
+  return clock() - before;
+}
+
+double StagedPipeline::partitioned_round(const BulkRound& round,
+                                         std::uint64_t epoch_seed) {
+  Cluster& cluster = p_.cluster_;
+  const double before = clock();
+  const ProcessGrid& grid = cluster.grid();
+  const auto c = static_cast<index_t>(grid.replication());
+  const double launch = cluster.cost_model().link().launch_overhead;
+  const auto num_layers = static_cast<double>(p_.cfg_.fanouts.size());
+
+  // The round needs, for every process row, the batches whose queue step
+  // falls in [step_begin, step_end): local indices [step_begin*c,
+  // step_end*c) of the row's block. Sample content is independent of which
+  // row materializes a batch (the determinism contract derives randomness
+  // from global batch ids), so the sub-epoch can be re-partitioned freely.
+  std::vector<std::vector<index_t>> sub_batches;
+  std::vector<index_t> sub_ids;
+  for (index_t i = 0; i < row_assign_.parts(); ++i) {
+    const index_t lo = row_assign_.begin(i) + round.step_begin * c;
+    const index_t hi =
+        std::min(row_assign_.end(i), row_assign_.begin(i) + round.step_end * c);
+    for (index_t b = lo; b < hi; ++b) {
+      sub_batches.push_back((*batches_)[static_cast<std::size_t>(b)]);
+      sub_ids.push_back(b);
+    }
+  }
+  if (sub_batches.empty()) return 0.0;
+
+  auto per_row = p_.partitioned_->sample_bulk(cluster, sub_batches, sub_ids,
+                                              epoch_seed);
+  cluster.add_overhead(kPhaseSampling, launch * kKernelsPerLayer * num_layers);
+
+  // Concatenating the per-row results restores sub-batch order; place each
+  // sample at its canonical queue position (rank (i, m%c), step m/c).
+  std::size_t q = 0;
+  for (auto& row_samples : per_row) {
+    for (auto& ms : row_samples) {
+      const index_t b = sub_ids[q++];
+      const index_t i = row_assign_.owner(b);
+      const index_t m = b - row_assign_.begin(i);
+      const int rank = grid.rank_of(static_cast<int>(i), static_cast<int>(m % c));
+      queues_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(m / c)] =
+          std::move(ms);
+    }
+  }
+  return clock() - before;
+}
+
+double StagedPipeline::fetch_step(index_t t, std::vector<DenseF>& gathered) {
+  Cluster& cluster = p_.cluster_;
+  const double before = clock();
+  const int p = cluster.size();
+  // Feature fetching: all-to-allv across process columns (§6.2).
+  std::vector<std::vector<index_t>> wanted(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const MinibatchSample& s =
+        queues_[static_cast<std::size_t>(r)][static_cast<std::size_t>(t)];
+    if (has_sample(s)) wanted[static_cast<std::size_t>(r)] = s.input_vertices();
+  }
+  gathered = p_.features_.fetch_all(cluster, wanted, "fetch");
+  return clock() - before;
+}
+
+double StagedPipeline::train_step(index_t t, const std::vector<DenseF>& gathered) {
+  Cluster& cluster = p_.cluster_;
+  const double before = clock();
+  const int p = cluster.size();
+  const std::size_t param_bytes = p_.model_.param_bytes();
+
+  // Propagation: fwd/bwd per rank, then gradient all-reduce.
+  double max_prop = 0.0;
+  int active = 0;
+  for (int r = 0; r < p; ++r) {
+    MinibatchSample& sample =
+        queues_[static_cast<std::size_t>(r)][static_cast<std::size_t>(t)];
+    if (!has_sample(sample)) continue;
+    std::vector<int> labels(sample.batch_vertices.size());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      labels[i] = p_.ds_.labels[static_cast<std::size_t>(sample.batch_vertices[i])];
+    }
+    Timer timer;
+    const LossResult res =
+        p_.model_.train_step(sample, gathered[static_cast<std::size_t>(r)], labels);
+    max_prop = std::max(max_prop, timer.seconds());
+    loss_sum_ += res.loss * static_cast<double>(labels.size());
+    correct_ += res.correct;
+    seen_ += static_cast<index_t>(labels.size());
+    ++active;
+    sample = MinibatchSample{};  // trained — release the round's memory
+  }
+  if (active > 0) {
+    // Shared-model gradient accumulation across ranks == all-reduce sum;
+    // average and step once (identical to synchronous DDP).
+    Timer timer;
+    p_.model_.scale_grads(1.0f / static_cast<float>(active));
+    p_.optimizer_->step(p_.model_.params());
+    p_.model_.zero_grads();
+    cluster.add_compute("propagation", max_prop + timer.seconds());
+    if (p > 1) {
+      cluster.record_comm(
+          "propagation",
+          cluster.cost_model().allreduce(cluster.grid().all_ranks(), param_bytes),
+          param_bytes * static_cast<std::size_t>(p),
+          static_cast<std::size_t>(2 * (p - 1)));
+    }
+  }
+  return clock() - before;
+}
+
+}  // namespace dms

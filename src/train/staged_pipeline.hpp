@@ -1,0 +1,69 @@
+// The staged, overlapped training executor (DESIGN.md §6).
+//
+// One epoch is executed as a sequence of discrete stage units over the
+// pipeline's components:
+//
+//   sample_round(g)  — materialize the minibatches of bulk round g
+//                      (the prefetchable unit of src/dist's BulkRound);
+//   fetch_step(t)    — the all-to-allv feature fetch for training step t;
+//   train_step(t)    — forward/backward + gradient all-reduce for step t.
+//
+// With PipelineConfig::overlap the executor double-buffers: round g+1 is
+// sampled while round g trains, and the fetch for step t+1 is issued while
+// step t propagates. The host still runs the stages sequentially — overlap
+// lives in the *simulated clock*, which composes concurrent stages as
+// max(compute, comm) by crediting the hidden seconds through
+// Cluster::credit_overlap. Because only the accounting changes, an
+// overlapped epoch performs bit-identical arithmetic to a synchronous one:
+// same samples, same gathered features, same optimizer updates, same loss.
+//
+// Accounting invariant (tested): for an overlapped epoch,
+//   overlap_saved + stall == sampling + fetch
+// (every prefetchable second is either hidden or exposed), and
+//   total == sum of phase times − overlap_saved.
+#pragma once
+
+#include "dist/dist_sampler.hpp"
+#include "train/pipeline.hpp"
+
+namespace dms {
+
+class StagedPipeline {
+ public:
+  /// Borrows the pipeline's components for one run() call.
+  explicit StagedPipeline(Pipeline& pipe) : p_(pipe) {}
+
+  /// Executes one epoch through the staged schedule; returns the stats.
+  EpochStats run(int epoch);
+
+ private:
+  /// Samples the minibatches covering `round`'s training steps into the
+  /// per-rank queues; returns the simulated seconds the round cost.
+  double sample_round(const BulkRound& round, std::uint64_t epoch_seed);
+  double replicated_round(const BulkRound& round, std::uint64_t epoch_seed);
+  double partitioned_round(const BulkRound& round, std::uint64_t epoch_seed);
+
+  /// Issues the feature fetch for step t; returns the simulated seconds.
+  double fetch_step(index_t t, std::vector<DenseF>& gathered);
+
+  /// Propagation + optimizer for step t (accumulates loss/accuracy and
+  /// releases the trained samples); returns the simulated seconds.
+  double train_step(index_t t, const std::vector<DenseF>& gathered);
+
+  /// Uncredited simulated clock (compute + comm), for per-stage deltas.
+  double clock() const;
+
+  Pipeline& p_;
+  const std::vector<std::vector<index_t>>* batches_ = nullptr;
+  BlockPartition rank_assign_;  ///< replicated: global batch id → rank
+  BlockPartition row_assign_;   ///< partitioned: global batch id → process row
+  index_t steps_ = 0;           ///< per-rank training steps in the epoch
+  /// queues_[r][t]: the sample rank r trains at step t (empty batch_vertices
+  /// = no work for r at t). Rounds fill step ranges; train_step drains them.
+  std::vector<std::vector<MinibatchSample>> queues_;
+  double loss_sum_ = 0.0;
+  index_t correct_ = 0;
+  index_t seen_ = 0;
+};
+
+}  // namespace dms

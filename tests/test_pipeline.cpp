@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/dataset.hpp"
+#include "test_util.hpp"
 #include "train/pipeline.hpp"
 
 namespace dms {
@@ -33,6 +34,7 @@ TEST(Pipeline, ReplicatedEpochProducesAllPhases) {
   EXPECT_NEAR(stats.total, cluster.total_time(), 1e-12);
   EXPECT_GT(stats.loss, 0.0);
   EXPECT_GE(stats.train_acc, 0.0);
+  testutil::expect_epoch_stats_consistent(stats);
 }
 
 TEST(Pipeline, PartitionedEpochProducesBreakdownPhases) {
@@ -46,6 +48,7 @@ TEST(Pipeline, PartitionedEpochProducesBreakdownPhases) {
   EXPECT_GT(stats.compute_phases.at(kPhaseSampling), 0.0);
   EXPECT_GT(stats.compute_phases.at(kPhaseExtraction), 0.0);
   EXPECT_GT(stats.sampling, 0.0);
+  testutil::expect_epoch_stats_consistent(stats);
 }
 
 TEST(Pipeline, LossDecreasesOverEpochs) {
@@ -89,6 +92,9 @@ TEST(Pipeline, BulkKDoesNotChangeSamplesOrLoss) {
 TEST(Pipeline, SmallerBulkMeansMoreSamplingOverhead) {
   const Dataset ds = small_planted();
   PipelineConfig cfg = small_config();
+  // Sync accounting: the overlapped executor slices k=all into prefetch
+  // rounds, which would blur the single-bulk vs tiny-bulk overhead contrast.
+  cfg.overlap = false;
   LinkParams link;
   link.launch_overhead = 1e-3;  // exaggerate to dominate measured noise
   Cluster c1(ProcessGrid(2, 1), CostModel(link));

@@ -1,13 +1,45 @@
-// Shared helpers for the test suite: random sparse matrices and dense
-// reference implementations.
+// Shared helpers for the test suite: random sparse matrices, dense
+// reference implementations, and the EpochStats accounting invariants.
 #pragma once
+
+#include <gtest/gtest.h>
 
 #include "common/rng.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
+#include "train/pipeline.hpp"
 
 namespace dms::testutil {
+
+/// Checks the clock-composition invariants every epoch must satisfy
+/// (DESIGN.md §6): all phases non-negative; the total is the max-composition
+/// of the phase times (sum of every recorded phase minus the overlapped
+/// credit); the credit never exceeds the prefetchable work; and when the
+/// staged executor ran overlapped, every prefetchable second is accounted
+/// exactly once as hidden (overlap_saved) or exposed (stall).
+inline void expect_epoch_stats_consistent(const EpochStats& s) {
+  EXPECT_GE(s.sampling, 0.0);
+  EXPECT_GE(s.fetch, 0.0);
+  EXPECT_GE(s.propagation, 0.0);
+  EXPECT_GE(s.overlap_saved, 0.0);
+  EXPECT_GE(s.stall, 0.0);
+  for (const auto& [phase, sec] : s.compute_phases) {
+    EXPECT_GE(sec, 0.0) << "compute phase " << phase;
+  }
+  for (const auto& [phase, sec] : s.comm_phases) {
+    EXPECT_GE(sec, 0.0) << "comm phase " << phase;
+  }
+  double phase_sum = 0.0;
+  for (const auto& [phase, sec] : s.compute_phases) phase_sum += sec;
+  for (const auto& [phase, sec] : s.comm_phases) phase_sum += sec;
+  const double tol = 1e-12 + 1e-6 * phase_sum;
+  EXPECT_NEAR(s.total, phase_sum - s.overlap_saved, tol);
+  EXPECT_LE(s.overlap_saved, s.sampling + s.fetch + tol);
+  if (s.overlap_saved > 0.0 || s.stall > 0.0) {
+    EXPECT_NEAR(s.overlap_saved + s.stall, s.sampling + s.fetch, tol);
+  }
+}
 
 /// Random sparse matrix with expected density `density` and values in (0,1].
 inline CsrMatrix random_csr(index_t rows, index_t cols, double density,
