@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/dataset.hpp"
@@ -141,6 +142,105 @@ class CsvWriter {
 
  private:
   std::FILE* f_;
+};
+
+// --- JSON output ------------------------------------------------------------
+// The BENCH_*.json perf-trajectory files: one flat JSON array of row objects
+// per file, one row per (bench, case, kernel) measurement, with the same
+// stable-key conventions as the CSV output. Rows carry string or number
+// fields only. A writer opened with append=true splices its rows into an
+// existing array written by a previous (possibly different) bench binary —
+// this is how micro_gemm and micro_spgemm share BENCH_micro.json.
+class JsonWriter {
+ public:
+  /// One rendered key/value pair of a row object.
+  struct Field {
+    Field(const char* k, const std::string& v) : key(k) {
+      rendered.reserve(v.size() + 2);
+      rendered.push_back('"');
+      for (const char c : v) {
+        if (c == '"' || c == '\\') rendered.push_back('\\');
+        rendered.push_back(c);
+      }
+      rendered.push_back('"');
+    }
+    Field(const char* k, const char* v) : Field(k, std::string(v)) {}
+    Field(const char* k, double v) : key(k) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9g", v);
+      rendered = buf;
+    }
+    Field(const char* k, index_t v) : key(k) {
+      rendered = std::to_string(v);
+    }
+    Field(const char* k, int v) : Field(k, static_cast<index_t>(v)) {}
+
+    std::string key;
+    std::string rendered;
+  };
+
+  explicit JsonWriter(const std::string& path, bool append = false) {
+    if (append) {
+      f_ = std::fopen(path.c_str(), "r+");
+      if (f_ != nullptr) {
+        // Splice into the existing array: our files always end "\n]\n", so
+        // repositioning onto that terminator lets new rows continue the
+        // array. Anything else (including an empty "[]\n") is rewritten.
+        std::fseek(f_, 0, SEEK_END);
+        const long size = std::ftell(f_);
+        char tail[3] = {0, 0, 0};
+        if (size >= 4) {
+          std::fseek(f_, size - 3, SEEK_SET);
+          if (std::fread(tail, 1, 3, f_) == 3 && tail[0] == '\n' &&
+              tail[1] == ']' && tail[2] == '\n') {
+            std::fseek(f_, size - 3, SEEK_SET);
+            continuing_ = true;
+          }
+        }
+        if (!continuing_) {
+          std::fclose(f_);
+          f_ = nullptr;
+        }
+      }
+    }
+    if (f_ == nullptr) f_ = std::fopen(path.c_str(), "w");
+  }
+
+  ~JsonWriter() {
+    if (f_ == nullptr) return;
+    if (rows_ > 0 || continuing_) {
+      std::fprintf(f_, "\n]\n");
+    } else {
+      std::fprintf(f_, "[]\n");
+    }
+    std::fclose(f_);
+  }
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+
+  void row(const std::vector<Field>& fields) {
+    if (f_ == nullptr) return;
+    if (rows_ == 0 && !continuing_) {
+      std::fprintf(f_, "[\n");
+    } else {
+      std::fprintf(f_, ",\n");
+    }
+    std::fprintf(f_, "  {");
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      std::fprintf(f_, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                   fields[i].key.c_str(), fields[i].rendered.c_str());
+    }
+    std::fprintf(f_, "}");
+    ++rows_;
+  }
+
+ private:
+  std::FILE* f_ = nullptr;
+  bool continuing_ = false;
+  std::size_t rows_ = 0;
 };
 
 }  // namespace dms::bench

@@ -13,17 +13,41 @@
 // Quiver at large p with the largest gap on the densest graph (protein);
 // Quiver stalls on dense graphs because feature-fetch volume grows with p;
 // our sampling step scales near-linearly (it is communication-free).
+#include <string>
+#include <vector>
+
 #include "baselines/quiver_sim.hpp"
 #include "bench_util.hpp"
+#include "common/timer.hpp"
 
 using namespace dms;
 using namespace dms::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  // --json=PATH writes the BENCH_fig4.json trajectory rows (simulated
+  // seconds AND host wall-clock per epoch); --smoke runs one dataset's
+  // first two points (the CI artifact job).
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+  }
+  JsonWriter json(json_path.empty() ? "/dev/null" : json_path);
+  if (!json_path.empty() && !json.ok()) {
+    std::fprintf(stderr, "FAIL: cannot open JSON output path %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+
   print_header("Figure 4: Graph Replicated pipeline vs Quiver (per-epoch seconds, simulated)");
   const LinkParams links = perlmutter_links();
 
-  for (const std::string name : {"products", "papers", "protein"}) {
+  const std::vector<std::string> datasets =
+      smoke ? std::vector<std::string>{"products"}
+            : std::vector<std::string>{"products", "papers", "protein"};
+  for (const std::string& name : datasets) {
     const Dataset& ds = dataset(name);
     const index_t nbatches = ds.num_batches(arch().sage_batch);
     std::printf("\n--- %s (%lld minibatches/epoch) ---\n", ds.name.c_str(),
@@ -38,9 +62,12 @@ int main() {
     double last_total = 0.0, last_sampling = 0.0;
     int last_p = 0;
     double gain_sum = 0.0;
+    double wall_sum_ms = 0.0;
     int points = 0;
 
-    for (const RunPoint& pt : fig4_points(name)) {
+    std::vector<RunPoint> run_points = fig4_points(name);
+    if (smoke && run_points.size() > 2) run_points.resize(2);
+    for (const RunPoint& pt : run_points) {
       // Quiver baseline (GPU-only sampling, fully replicated topology).
       // The paper could not run Quiver on Papers at 128 GPUs (preprocessing
       // OOM) — mirror that gap.
@@ -70,18 +97,23 @@ int main() {
       cfg.overlap = false;
       Cluster c_sync(ProcessGrid(pt.p, pt.c), CostModel(links));
       Pipeline sync(c_sync, ds, cfg);
+      Timer wall_sync;
       const EpochStats b = sync.run_epoch(0);
+      const double wall_sync_ms = wall_sync.seconds() * 1e3;
 
       // Staged executor: prefetch overlap + LRU feature cache.
       cfg.overlap = true;
       cfg.feature_cache = {CachePolicy::kLru, ds.num_vertices() / 8};
       Cluster cluster(ProcessGrid(pt.p, pt.c), CostModel(links));
       Pipeline pipe(cluster, ds, cfg);
+      Timer wall_ours;
       const EpochStats s = pipe.run_epoch(0);
+      const double wall_ours_ms = wall_ours.seconds() * 1e3;
 
       const double hit_pct = cache_hit_pct(s.cache_hits, s.cache_misses);
       const double gain = b.total > 0.0 ? 100.0 * (1.0 - s.total / b.total) : 0.0;
       gain_sum += gain;
+      wall_sum_ms += wall_ours_ms;
       ++points;
 
       const std::string kstr =
@@ -94,6 +126,23 @@ int main() {
                  quiver_total < 0 ? "-" : fmt(quiver_total / s.total, 2) + "x",
                  fmt(gain, 1)},
                 9);
+      json.row({{"bench", "fig4_replicated_pipeline"},
+                {"case", name + "_p" + std::to_string(pt.p)},
+                {"dataset", name},
+                {"p", pt.p},
+                {"c", pt.c},
+                {"k", kstr},
+                {"quiver_sim_s", quiver_total},
+                {"sync_sim_s", b.total},
+                {"ours_sim_s", s.total},
+                {"sampling_sim_s", s.sampling},
+                {"fetch_sim_s", s.fetch},
+                {"prop_sim_s", s.propagation},
+                {"overlap_saved_sim_s", s.overlap_saved},
+                {"cache_hit_pct", hit_pct},
+                {"gain_pct", gain},
+                {"wall_sync_ms", wall_sync_ms},
+                {"wall_ours_ms", wall_ours_ms}});
 
       if (first_p == 0) {
         first_p = pt.p;
@@ -107,11 +156,14 @@ int main() {
 
     const double ratio = static_cast<double>(last_p) / first_p;
     std::printf("scaling %d->%d ranks: total %.2fx (parallel efficiency %.0f%%), "
-                "sampling %.2fx; mean staged-executor gain %.1f%% over sync\n",
+                "sampling %.2fx; mean staged-executor gain %.1f%% over sync; "
+                "mean host wall-clock %.0f ms/epoch\n",
                 first_p, last_p, first_total / last_total,
                 100.0 * first_total / last_total / ratio,
-                first_sampling / last_sampling, gain_sum / points);
+                first_sampling / last_sampling, gain_sum / points,
+                wall_sum_ms / points);
   }
+  if (!json_path.empty()) std::printf("\nJSON written to %s\n", json_path.c_str());
   std::printf("\nPaper reference points: 2.5x over Quiver on Products@16, 3.4x on\n"
               "Papers@64, 8.5x on Protein@128; sampling ~15.8x from 4->64 ranks.\n");
   return 0;

@@ -143,7 +143,8 @@ std::vector<index_t> random_mask(const Graph& g, index_t s, std::uint64_t seed) 
   return mask;
 }
 
-int run_kernel_compare(bool smoke, const std::string& csv_path) {
+int run_kernel_compare(bool smoke, const std::string& csv_path,
+                       const std::string& json_path) {
   RmatParams params;
   params.scale = smoke ? 10 : 14;
   params.edge_factor = smoke ? 16.0 : 32.0;
@@ -159,6 +160,16 @@ int run_kernel_compare(bool smoke, const std::string& csv_path) {
     std::fprintf(stderr, "FAIL: cannot open CSV output path %s\n", csv_path.c_str());
     return 1;
   }
+  // Appending writer: shares BENCH_micro.json with micro_gemm --compare,
+  // which truncates — regenerate the file by running micro_gemm first,
+  // then this harness (re-running only this harness appends duplicates).
+  bench::JsonWriter json(json_path.empty() ? "/dev/null" : json_path,
+                         /*append=*/true);
+  if (!json_path.empty() && !json.ok()) {
+    std::fprintf(stderr, "FAIL: cannot open JSON output path %s\n",
+                 json_path.c_str());
+    return 1;
+  }
   const std::string bench_id = "micro_spgemm.kernel_compare";
 
   bench::print_header("SpGEMM kernel comparison (n = " + std::to_string(n) +
@@ -172,6 +183,12 @@ int run_kernel_compare(bool smoke, const std::string& csv_path) {
                       bench::fmt(speedup, 2)}, w);
     csv.row({bench_id, cs, kernel, bench::fmt(ms, 6),
              bench::fmt(flops / (ms / 1e3), 0), bench::fmt(speedup, 4)});
+    json.row({{"bench", bench_id},
+              {"case", cs},
+              {"kernel", kernel},
+              {"time_ms", ms},
+              {"flops_per_sec", static_cast<double>(flops) / (ms / 1e3)},
+              {"speedup_vs_baseline", speedup}});
   };
 
   // --- Per-kernel times on the probability-generation shapes Qˡ·A. ---
@@ -251,6 +268,9 @@ int run_kernel_compare(bool smoke, const std::string& csv_path) {
   if (!csv_path.empty()) {
     std::printf("\nCSV written to %s\n", csv_path.c_str());
   }
+  if (!json_path.empty()) {
+    std::printf("JSON appended to %s\n", json_path.c_str());
+  }
   std::printf("\nkernel cross-check: %s\n", ok ? "all bit-identical" : "MISMATCH");
   return ok ? 0 : 1;
 }
@@ -261,6 +281,7 @@ int main(int argc, char** argv) {
   bool compare = false;
   bool smoke = false;
   std::string csv_path;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--kernel-compare") {
@@ -269,9 +290,11 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg.rfind("--csv=", 0) == 0) {
       csv_path = arg.substr(6);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
     }
   }
-  if (compare) return run_kernel_compare(smoke, csv_path);
+  if (compare) return run_kernel_compare(smoke, csv_path, json_path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

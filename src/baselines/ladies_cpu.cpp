@@ -22,6 +22,12 @@ LadiesCpuResult ladies_cpu_reference(const Graph& graph,
 
   std::vector<value_t> counts(static_cast<std::size_t>(n), 0.0);
   std::vector<index_t> touched;
+  // Per-batch ITS scratch hoisted out of the loop (prefix, picked locals,
+  // and the chosen flags the scratch-taking its_sample_one overload reuses).
+  std::vector<value_t> prefix;
+  std::vector<index_t> picked_local;
+  std::vector<char> chosen;
+  Workspace ws;  // masked-extraction scratch, reused across batches
   for (std::size_t b = 0; b < batches.size(); ++b) {
     const auto& batch = batches[b];
 
@@ -35,15 +41,14 @@ LadiesCpuResult ladies_cpu_reference(const Graph& graph,
     }
 
     // p_v ∝ e_v², ITS over the touched vertices.
-    std::vector<value_t> prefix(1, 0.0);
+    prefix.assign(1, 0.0);
     prefix.reserve(touched.size() + 1);
     for (const index_t v : touched) {
       const value_t e = counts[static_cast<std::size_t>(v)];
       prefix.push_back(prefix.back() + e * e);
     }
-    std::vector<index_t> picked_local;
     its_sample_one(prefix, s, derive_seed(seed, static_cast<std::uint64_t>(b), 0, 0),
-                   &picked_local);
+                   &picked_local, chosen);
     std::vector<index_t> sampled;
     sampled.reserve(picked_local.size());
     for (const index_t idx : picked_local) {
@@ -71,8 +76,10 @@ LadiesCpuResult ladies_cpu_reference(const Graph& graph,
     }
     std::vector<index_t> mask = sampled;  // distinct; sort for the mask contract
     std::sort(mask.begin(), mask.end());
+    SpgemmOptions mopts;
+    mopts.workspace = &ws;
     const CsrMatrix a_s =
-        spgemm_masked(extract_rows(graph.adjacency(), batch), mask);
+        spgemm_masked(extract_rows(graph.adjacency(), batch), mask, mopts);
     CooMatrix coo(static_cast<index_t>(batch.size()),
                   static_cast<index_t>(layer.col_vertices.size()));
     for (index_t r = 0; r < a_s.rows(); ++r) {

@@ -1,0 +1,33 @@
+#include "common/workspace.hpp"
+
+namespace dms {
+
+namespace {
+
+template <typename T>
+std::size_t vec_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace
+
+std::size_t WorkspaceSlot::bytes() const {
+  return vec_bytes(row_nnz) + vec_bytes(colidx) + vec_bytes(vals) +
+         vec_bytes(mark) + vec_bytes(touched) + vec_bytes(acc) +
+         vec_bytes(hash_keys) + vec_bytes(hash_used) + vec_bytes(hash_vals) +
+         vec_bytes(flags);
+}
+
+void Workspace::ensure_slots(std::size_t n) {
+  while (slots_.size() < n) {
+    slots_.push_back(std::make_unique<WorkspaceSlot>());
+  }
+}
+
+std::size_t Workspace::bytes_held() const {
+  std::size_t b = vec_bytes(shared_prefix_) + vec_bytes(shared_lookup_);
+  for (const auto& s : slots_) b += s->bytes();
+  return b;
+}
+
+}  // namespace dms

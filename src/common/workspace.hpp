@@ -1,0 +1,91 @@
+// Reusable scratch arena for the sampling/training hot path (DESIGN.md §7).
+//
+// Every hot kernel of the sampling loop — the SpGEMM engine's symbolic
+// prefixes and per-block accumulators, ITS's per-row prefix/picked/chosen
+// scratch — needs the same few temporary buffers on every invocation. A
+// Workspace keeps those buffers alive between calls so steady-state epochs
+// pay no scratch allocations: buffers grow to the high-water mark of the
+// workload on the first epoch and are reused (vector::assign / clear keep
+// capacity) from then on.
+//
+// Layout: one Workspace holds
+//  - a few *shared* buffers used serially before/after a kernel's parallel
+//    region (flop prefixes, block bounds, the masked-kernel column lookup);
+//  - an array of *slots*, one per parallel block. Slot i is touched only by
+//    the worker executing block i, so slots need no synchronization; the
+//    kernel calls ensure_slots(nblocks) serially before fanning out.
+//
+// Ownership & thread-safety contract: a Workspace may serve ONE kernel
+// invocation at a time (kernels on the same Workspace must be sequenced).
+// Samplers own a private Workspace and pass it to every kernel they call;
+// nested kernel calls (e.g. the 1.5D SpGEMM's per-panel products) are
+// sequential, so sharing one Workspace across them is safe. Slot buffer
+// *contents* are undefined between invocations — each user re-establishes
+// its own state (see the hash-table invariant in spgemm_engine.cpp for the
+// one deliberate exception).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dms {
+
+/// Per-parallel-block scratch bundle. Members are named for their primary
+/// user but deliberately generic: sequential kernels may reuse any buffer
+/// whose element type fits (ITS uses `vals` for row prefix sums, `touched`
+/// for picked indices, `colidx` for staged output columns).
+struct WorkspaceSlot {
+  // Staged per-block output (SpGEMM numeric phase, ITS fill pass).
+  std::vector<nnz_t> row_nnz;
+  std::vector<index_t> colidx;
+  std::vector<value_t> vals;
+  // Dense / masked accumulator state (mark + value + touched list).
+  std::vector<index_t> mark;
+  std::vector<index_t> touched;
+  std::vector<value_t> acc;
+  // Hash accumulator state. Invariant maintained by its user: every key
+  // slot is empty outside a hash-kernel block (so reuse never rehashes).
+  std::vector<index_t> hash_keys;
+  std::vector<index_t> hash_used;
+  std::vector<value_t> hash_vals;
+  // Byte flags (ITS `chosen` scratch).
+  std::vector<char> flags;
+
+  /// Bytes currently reserved by this slot's buffers.
+  std::size_t bytes() const;
+};
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Grows the slot array to at least n slots. Must be called serially
+  /// (before a parallel region); existing slots keep their buffers.
+  void ensure_slots(std::size_t n);
+
+  /// Slot i (i < num_slots()). Distinct slots may be used concurrently;
+  /// references stay valid across ensure_slots growth.
+  WorkspaceSlot& slot(std::size_t i) { return *slots_[i]; }
+
+  std::size_t num_slots() const { return slots_.size(); }
+
+  /// Shared serial-phase buffers (one kernel invocation at a time).
+  std::vector<nnz_t>& shared_prefix() { return shared_prefix_; }
+  std::vector<index_t>& shared_lookup() { return shared_lookup_; }
+
+  /// Total bytes held across shared buffers and all slots (observability;
+  /// the steady-state value is the workload's scratch high-water mark).
+  std::size_t bytes_held() const;
+
+ private:
+  std::vector<std::unique_ptr<WorkspaceSlot>> slots_;
+  std::vector<nnz_t> shared_prefix_;
+  std::vector<index_t> shared_lookup_;
+};
+
+}  // namespace dms

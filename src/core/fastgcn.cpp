@@ -42,16 +42,19 @@ std::vector<MinibatchSample> FastGcnSampler::sample_bulk(
     current[static_cast<std::size_t>(i)] = batches[static_cast<std::size_t>(i)];
   }
 
+  ws_.ensure_slots(1);
   std::vector<index_t> sampled;
   for (index_t l = 0; l < num_layers; ++l) {
     const index_t s = config_.fanouts[static_cast<std::size_t>(l)];
     for (index_t i = 0; i < k; ++i) {
-      // SAMPLE from the shared importance distribution.
+      // SAMPLE from the shared importance distribution; the chosen-flags
+      // scratch lives in the workspace so the per-batch loop is
+      // allocation-free.
       its_sample_one(importance_prefix_, s,
                      derive_seed(epoch_seed,
                                  static_cast<std::uint64_t>(batch_ids[static_cast<std::size_t>(i)]),
                                  static_cast<std::uint64_t>(l), 1),
-                     &sampled);
+                     &sampled, ws_.slot(0).flags);
 
       // EXTRACT: edges between the current set and the sampled set, via the
       // same fused masked-extraction SpGEMM as LADIES (§4.2.3). The engine
@@ -62,6 +65,7 @@ std::vector<MinibatchSample> FastGcnSampler::sample_bulk(
       const CsrMatrix qr = CsrMatrix::one_nonzero_per_row(n, rows);
       SpgemmOptions mopts;
       mopts.column_mask = &sampled;
+      mopts.workspace = &ws_;
       const CsrMatrix a_s = spgemm(qr, graph_.adjacency(), mopts);
 
       // Assemble: frontier = rows ∪ sampled (rows lead; see sampler.hpp).

@@ -12,6 +12,7 @@
 // permits; semantics are identical).
 #pragma once
 
+#include "common/workspace.hpp"
 #include "core/sampler.hpp"
 
 namespace dms {
@@ -35,6 +36,8 @@ class FastGcnSampler : public MatrixSampler {
   SamplerConfig config_;
   std::vector<value_t> importance_;         // q_v ∝ in_deg(v)²
   std::vector<value_t> importance_prefix_;  // shared ITS prefix sum
+  /// Scratch arena reused across layers/bulks/epochs (see graphsage.hpp).
+  mutable Workspace ws_;
 };
 
 }  // namespace dms

@@ -73,13 +73,15 @@ std::vector<MinibatchSample> GraphSageSampler::sample_bulk(
     const CsrMatrix q = CsrMatrix::one_nonzero_per_row(n, stack.vertices);
 
     // --- Generate probability distributions: P ← Q·A, NORM(P). ---
-    CsrMatrix p = spgemm(q, graph_.adjacency());
+    SpgemmOptions sopts;
+    sopts.workspace = &ws_;
+    CsrMatrix p = spgemm(q, graph_.adjacency(), sopts);
     normalize_rows(p);
 
     // --- SAMPLE(P, b, s) with ITS; seeds keyed by (epoch, batch, layer,
     // local row) so results do not depend on k or the rank layout. ---
-    const CsrMatrix qs =
-        its_sample_rows(p, s, sage_row_seed_fn(stack, batch_ids, 0, l, epoch_seed));
+    const CsrMatrix qs = its_sample_rows(
+        p, s, sage_row_seed_fn(stack, batch_ids, 0, l, epoch_seed), &ws_);
 
     // --- EXTRACT per batch block: renumber sampled columns into the new
     // frontier (row vertices lead, §4.1.3). ---

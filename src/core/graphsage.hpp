@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "common/workspace.hpp"
 #include "core/frontier.hpp"
 #include "core/its.hpp"
 #include "core/sampler.hpp"
@@ -53,6 +54,11 @@ class GraphSageSampler : public MatrixSampler {
  private:
   const Graph& graph_;
   SamplerConfig config_;
+  /// Scratch arena reused across layers, bulks, and epochs (steady-state
+  /// sampling allocates only its outputs). Makes concurrent sample_bulk
+  /// calls on one sampler instance unsupported — the pipeline drives
+  /// samplers sequentially.
+  mutable Workspace ws_;
 };
 
 }  // namespace dms

@@ -46,7 +46,9 @@ std::vector<MinibatchSample> GraphSaintSampler::sample_bulk(
     }
     if (stacked.empty()) break;
     const CsrMatrix q = CsrMatrix::one_nonzero_per_row(n, stacked);
-    CsrMatrix p = spgemm(q, graph_.adjacency());
+    SpgemmOptions sopts;
+    sopts.workspace = &ws_;
+    CsrMatrix p = spgemm(q, graph_.adjacency(), sopts);
     normalize_rows(p);
 
     std::vector<index_t> row_batch(stacked.size());
@@ -56,14 +58,18 @@ std::vector<MinibatchSample> GraphSaintSampler::sample_bulk(
         row_batch[static_cast<std::size_t>(r)] = i;
       }
     }
-    const CsrMatrix qs = its_sample_rows(p, 1, [&](index_t row) {
-      const index_t i = row_batch[static_cast<std::size_t>(row)];
-      const index_t local = row - offset[static_cast<std::size_t>(i)];
-      return derive_seed(epoch_seed,
-                         static_cast<std::uint64_t>(batch_ids[static_cast<std::size_t>(i)]),
-                         static_cast<std::uint64_t>(step) + 0x5a17,
-                         static_cast<std::uint64_t>(local));
-    });
+    const CsrMatrix qs = its_sample_rows(
+        p, 1,
+        [&](index_t row) {
+          const index_t i = row_batch[static_cast<std::size_t>(row)];
+          const index_t local = row - offset[static_cast<std::size_t>(i)];
+          return derive_seed(
+              epoch_seed,
+              static_cast<std::uint64_t>(batch_ids[static_cast<std::size_t>(i)]),
+              static_cast<std::uint64_t>(step) + 0x5a17,
+              static_cast<std::uint64_t>(local));
+        },
+        &ws_);
 
     for (index_t i = 0; i < k; ++i) {
       std::vector<index_t> next;
@@ -90,7 +96,9 @@ std::vector<MinibatchSample> GraphSaintSampler::sample_bulk(
     vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
 
     const CsrMatrix rows = extract_rows(graph_.adjacency(), vs);
-    const CsrMatrix induced = spgemm_masked(rows, vs);
+    SpgemmOptions mopts;
+    mopts.workspace = &ws_;
+    const CsrMatrix induced = spgemm_masked(rows, vs, mopts);
 
     LayerSample layer;
     layer.adj = induced;

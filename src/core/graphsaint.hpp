@@ -13,6 +13,7 @@
 // V_s (consistent with the frontier convention of sampler.hpp).
 #pragma once
 
+#include "common/workspace.hpp"
 #include "core/sampler.hpp"
 
 namespace dms {
@@ -42,6 +43,8 @@ class GraphSaintSampler : public MatrixSampler {
   const Graph& graph_;
   GraphSaintConfig config_;
   SamplerConfig sampler_config_;  // adapter for the MatrixSampler interface
+  /// Scratch arena reused across walk steps/bulks/epochs (see graphsage.hpp).
+  mutable Workspace ws_;
 };
 
 }  // namespace dms

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/rng.hpp"
+#include "common/threadpool.hpp"
+#include "sparse/spgemm_engine.hpp"
 
 namespace dms {
 
@@ -21,7 +23,8 @@ index_t draw(const std::vector<value_t>& prefix, Pcg32& rng) {
 }  // namespace
 
 void its_sample_one(const std::vector<value_t>& prefix, index_t s,
-                    std::uint64_t seed, std::vector<index_t>* out) {
+                    std::uint64_t seed, std::vector<index_t>* out,
+                    std::vector<char>& chosen) {
   out->clear();
   const auto m = static_cast<index_t>(prefix.size()) - 1;
   if (m <= 0 || prefix.back() <= 0.0) return;
@@ -34,7 +37,7 @@ void its_sample_one(const std::vector<value_t>& prefix, index_t s,
     return;
   }
   Pcg32 rng(seed, 0x175);
-  std::vector<char> chosen(static_cast<std::size_t>(m), 0);
+  chosen.assign(static_cast<std::size_t>(m), 0);
   index_t found = 0;
   // Redraw-on-duplicate, as §4.1.2 describes. The attempt cap guards
   // pathological weight skew; the deterministic sweep below completes the
@@ -60,32 +63,91 @@ void its_sample_one(const std::vector<value_t>& prefix, index_t s,
   }
 }
 
-CsrMatrix its_sample_rows(const CsrMatrix& p, index_t s, const RowSeedFn& row_seed) {
-  check(s >= 0, "its_sample_rows: negative s");
-  const index_t rows = p.rows();
-  std::vector<nnz_t> rowptr(static_cast<std::size_t>(rows) + 1, 0);
-  std::vector<index_t> colidx;
-  std::vector<value_t> vals;
-  std::vector<value_t> prefix;
-  std::vector<index_t> picked;
-  for (index_t r = 0; r < rows; ++r) {
-    const auto rvals = p.row_vals(r);
-    const auto rcols = p.row_cols(r);
-    prefix.assign(1, 0.0);
-    prefix.reserve(rvals.size() + 1);
-    for (const value_t v : rvals) prefix.push_back(prefix.back() + std::max(v, 0.0));
-    its_sample_one(prefix, s, row_seed(r), &picked);
-    for (const index_t local : picked) {
-      colidx.push_back(rcols[static_cast<std::size_t>(local)]);
-      vals.push_back(1.0);
-    }
-    rowptr[static_cast<std::size_t>(r) + 1] = static_cast<nnz_t>(colidx.size());
-  }
-  return CsrMatrix(rows, p.cols(), std::move(rowptr), std::move(colidx), std::move(vals));
+void its_sample_one(const std::vector<value_t>& prefix, index_t s,
+                    std::uint64_t seed, std::vector<index_t>* out) {
+  std::vector<char> chosen;
+  its_sample_one(prefix, s, seed, out, chosen);
 }
 
-CsrMatrix its_sample_rows(const CsrMatrix& p, index_t s, std::uint64_t seed) {
-  return its_sample_rows(p, s, [seed](index_t row) { return derive_seed(seed, static_cast<std::uint64_t>(row)); });
+CsrMatrix its_sample_rows(const CsrMatrix& p, index_t s, const RowSeedFn& row_seed,
+                          Workspace* ws_opt) {
+  check(s >= 0, "its_sample_rows: negative s");
+  const index_t rows = p.rows();
+  Workspace local;
+  Workspace& ws = ws_opt != nullptr ? *ws_opt : local;
+
+  // The engine's work-balanced decomposition over the nnz prefix (a row's
+  // sampling cost is dominated by its O(row nnz) prefix build, and a CSR
+  // rowptr is exactly that work prefix).
+  const std::vector<index_t> bounds = work_balanced_bounds(
+      p.rowptr(), rows, ThreadPool::global().size());
+  const auto nblocks = static_cast<index_t>(bounds.size()) - 1;
+  ws.ensure_slots(static_cast<std::size_t>(nblocks));
+
+  // Pass 1 (count + stage): sample every row into its block's staging slot
+  // — prefix sum in slot.vals, picked locals in slot.touched, chosen flags
+  // in slot.flags, mapped global columns appended to slot.colidx — and
+  // record the per-row sample count. Per-row seeds make the result
+  // independent of this decomposition.
+  std::vector<nnz_t> rowptr(static_cast<std::size_t>(rows) + 1, 0);
+  auto sample_block = [&](index_t blk) {
+    WorkspaceSlot& slot = ws.slot(static_cast<std::size_t>(blk));
+    slot.colidx.clear();
+    for (index_t r = bounds[static_cast<std::size_t>(blk)];
+         r < bounds[static_cast<std::size_t>(blk) + 1]; ++r) {
+      const auto rvals = p.row_vals(r);
+      const auto rcols = p.row_cols(r);
+      slot.vals.clear();
+      slot.vals.push_back(0.0);
+      for (const value_t v : rvals) {
+        slot.vals.push_back(slot.vals.back() + std::max(v, 0.0));
+      }
+      its_sample_one(slot.vals, s, row_seed(r), &slot.touched, slot.flags);
+      for (const index_t local : slot.touched) {
+        slot.colidx.push_back(rcols[static_cast<std::size_t>(local)]);
+      }
+      rowptr[static_cast<std::size_t>(r) + 1] =
+          static_cast<nnz_t>(slot.touched.size());
+    }
+  };
+  if (nblocks <= 1) {
+    if (nblocks == 1) sample_block(0);
+  } else {
+    ThreadPool::global().parallel_for(nblocks, sample_block);
+  }
+
+  // Serial prefix sum: per-row counts → CSR row offsets.
+  for (index_t r = 0; r < rows; ++r) {
+    rowptr[static_cast<std::size_t>(r) + 1] += rowptr[static_cast<std::size_t>(r)];
+  }
+  const nnz_t total = rowptr[static_cast<std::size_t>(rows)];
+
+  // Pass 2 (fill): copy each block's staged columns to its final offset.
+  std::vector<index_t> colidx(static_cast<std::size_t>(total));
+  std::vector<value_t> vals(static_cast<std::size_t>(total), 1.0);
+  auto fill_block = [&](index_t blk) {
+    const WorkspaceSlot& slot = ws.slot(static_cast<std::size_t>(blk));
+    const nnz_t dst = rowptr[static_cast<std::size_t>(
+        bounds[static_cast<std::size_t>(blk)])];
+    std::copy(slot.colidx.begin(), slot.colidx.end(),
+              colidx.begin() + static_cast<std::ptrdiff_t>(dst));
+  };
+  if (nblocks <= 1) {
+    if (nblocks == 1) fill_block(0);
+  } else {
+    ThreadPool::global().parallel_for(nblocks, fill_block);
+  }
+
+  return CsrMatrix(rows, p.cols(), std::move(rowptr), std::move(colidx),
+                   std::move(vals));
+}
+
+CsrMatrix its_sample_rows(const CsrMatrix& p, index_t s, std::uint64_t seed,
+                          Workspace* ws) {
+  return its_sample_rows(
+      p, s,
+      [seed](index_t row) { return derive_seed(seed, static_cast<std::uint64_t>(row)); },
+      ws);
 }
 
 }  // namespace dms

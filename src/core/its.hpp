@@ -5,12 +5,21 @@
 // randoms, binary-search each into the prefix sum, and redraw duplicates so
 // the s selected nonzero columns are distinct (sampling without
 // replacement). Rows with ≤ s nonzeros contribute all their nonzeros.
+//
+// Execution: rows are embarrassingly parallel — every row's randomness comes
+// only from its own seed — so its_sample_rows runs a two-pass count-then-fill
+// scheme over nnz-balanced contiguous row blocks (DESIGN.md §7): pass 1
+// samples each block's rows into per-block workspace staging (recording
+// per-row counts), a serial prefix sum lays out the CSR rowptr, and pass 2
+// copies each block's staged columns to its final offset. The result is
+// bit-identical to the serial row loop at every thread count.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "common/workspace.hpp"
 #include "sparse/csr.hpp"
 
 namespace dms {
@@ -22,15 +31,25 @@ using RowSeedFn = std::function<std::uint64_t(index_t row)>;
 
 /// Samples up to s distinct nonzero columns from each row of P proportional
 /// to the row's values. Returns a 0/1 matrix Q of the same shape with
-/// min(s, row_nnz) nonzeros per row (sorted column order).
-CsrMatrix its_sample_rows(const CsrMatrix& p, index_t s, const RowSeedFn& row_seed);
+/// min(s, row_nnz) nonzeros per row (sorted column order). `ws` (optional)
+/// provides reusable scratch so steady-state calls allocate only the result.
+CsrMatrix its_sample_rows(const CsrMatrix& p, index_t s, const RowSeedFn& row_seed,
+                          Workspace* ws = nullptr);
 
 /// Convenience overload: seeds derived as derive_seed(seed, row).
-CsrMatrix its_sample_rows(const CsrMatrix& p, index_t s, std::uint64_t seed);
+CsrMatrix its_sample_rows(const CsrMatrix& p, index_t s, std::uint64_t seed,
+                          Workspace* ws = nullptr);
 
 /// Samples s distinct indices from `weights` (size m, nonnegative, not all
 /// zero unless m == 0), writing ascending indices to `out`. Exposed for
 /// direct reuse by the loop-based baselines and for unit testing.
+/// `chosen` is caller-provided scratch (resized/cleared here), so repeated
+/// calls reuse one allocation.
+void its_sample_one(const std::vector<value_t>& prefix, index_t s,
+                    std::uint64_t seed, std::vector<index_t>* out,
+                    std::vector<char>& chosen);
+
+/// Shim keeping the original signature: allocates the scratch per call.
 void its_sample_one(const std::vector<value_t>& prefix, index_t s,
                     std::uint64_t seed, std::vector<index_t>* out);
 

@@ -100,15 +100,21 @@ std::vector<MinibatchSample> LadiesSampler::sample_bulk(
 
     // --- Probability generation on the stacked Q (one row per batch). ---
     const CsrMatrix q = ladies_indicator_rows(n, current);
-    CsrMatrix p = spgemm(q, graph_.adjacency());
+    SpgemmOptions popts;
+    popts.workspace = &ws_;
+    CsrMatrix p = spgemm(q, graph_.adjacency(), popts);
     ladies_norm(p);
 
     // --- SAMPLE: s vertices per batch row. ---
-    const CsrMatrix qs = its_sample_rows(p, s, [&](index_t row) {
-      return derive_seed(epoch_seed,
-                         static_cast<std::uint64_t>(batch_ids[static_cast<std::size_t>(row)]),
-                         static_cast<std::uint64_t>(l), 0);
-    });
+    const CsrMatrix qs = its_sample_rows(
+        p, s,
+        [&](index_t row) {
+          return derive_seed(
+              epoch_seed,
+              static_cast<std::uint64_t>(batch_ids[static_cast<std::size_t>(row)]),
+              static_cast<std::uint64_t>(l), 0);
+        },
+        &ws_);
 
     // --- EXTRACT: per-batch fused masked extraction A_S = (Qᵣ·A)[:, S]
     // (§4.2.4 / §8.2.2). The engine's masked kernel computes only the s
@@ -122,6 +128,7 @@ std::vector<MinibatchSample> LadiesSampler::sample_bulk(
       const CsrMatrix qr = CsrMatrix::one_nonzero_per_row(n, rows);
       SpgemmOptions mopts;
       mopts.column_mask = &sampled;
+      mopts.workspace = &ws_;
       const CsrMatrix a_s = spgemm(qr, graph_.adjacency(), mopts);
       LayerSample layer = ladies_assemble_layer(rows, sampled, a_s);
       current[static_cast<std::size_t>(i)] = layer.col_vertices;

@@ -13,6 +13,7 @@
 // exactly the way §8.2.2 describes for CSR memory reasons).
 #pragma once
 
+#include "common/workspace.hpp"
 #include "core/sampler.hpp"
 
 namespace dms {
@@ -58,6 +59,8 @@ class LadiesSampler : public MatrixSampler {
  private:
   const Graph& graph_;
   SamplerConfig config_;
+  /// Scratch arena reused across layers/bulks/epochs (see graphsage.hpp).
+  mutable Workspace ws_;
 };
 
 }  // namespace dms

@@ -37,8 +37,11 @@ void timed_rows(Cluster& cluster, const char* phase, index_t rows, Fn&& body) {
 /// sorted, coming from a CSR row), the result is bitwise identical to the
 /// chunked product-then-slice this supersedes.
 CsrMatrix extract_sampled_columns(const CsrMatrix& ar_b,
-                                  const std::vector<index_t>& sampled) {
-  return spgemm_masked(ar_b, sampled);
+                                  const std::vector<index_t>& sampled,
+                                  Workspace* ws) {
+  SpgemmOptions opts;
+  opts.workspace = ws;
+  return spgemm_masked(ar_b, sampled, opts);
 }
 
 }  // namespace
@@ -148,6 +151,7 @@ std::vector<std::vector<MinibatchSample>> PartitionedSageSampler::sample_rows(
     sopts.sparsity_aware = opts_.sparsity_aware;
     sopts.phase = kPhaseProbability;
     sopts.local = opts_.local_spgemm;
+    sopts.local.workspace = &ws_;
     auto p_blocks = spgemm_15d(cluster, q_blocks, dist_adj_, sopts);
     timed_rows(cluster, kPhaseProbability, rows, [&](index_t i) {
       normalize_rows(p_blocks[static_cast<std::size_t>(i)]);
@@ -160,7 +164,8 @@ std::vector<std::vector<MinibatchSample>> PartitionedSageSampler::sample_rows(
       qs[static_cast<std::size_t>(i)] = its_sample_rows(
           p_blocks[static_cast<std::size_t>(i)], s,
           sage_row_seed_fn(stacks[static_cast<std::size_t>(i)], batch_ids,
-                           assign.begin(i), l, epoch_seed));
+                           assign.begin(i), l, epoch_seed),
+          &ws_);
     });
 
     // --- EXTRACT: renumber sampled columns into the next frontier (the
@@ -222,6 +227,7 @@ std::vector<std::vector<MinibatchSample>> PartitionedLadiesSampler::sample_rows(
     sopts.sparsity_aware = opts_.sparsity_aware;
     sopts.phase = kPhaseProbability;
     sopts.local = opts_.local_spgemm;
+    sopts.local.workspace = &ws_;
     auto p_blocks = spgemm_15d(cluster, q_blocks, dist_adj_, sopts);
     timed_rows(cluster, kPhaseProbability, rows, [&](index_t i) {
       ladies_norm(p_blocks[static_cast<std::size_t>(i)]);
@@ -230,14 +236,16 @@ std::vector<std::vector<MinibatchSample>> PartitionedLadiesSampler::sample_rows(
     // --- SAMPLE: s vertices per batch row. ---
     std::vector<CsrMatrix> qs(static_cast<std::size_t>(rows));
     timed_rows(cluster, kPhaseSampling, rows, [&](index_t i) {
-      qs[static_cast<std::size_t>(i)] =
-          its_sample_rows(p_blocks[static_cast<std::size_t>(i)], s, [&](index_t row) {
+      qs[static_cast<std::size_t>(i)] = its_sample_rows(
+          p_blocks[static_cast<std::size_t>(i)], s,
+          [&](index_t row) {
             const index_t g = assign.begin(i) + row;
             return derive_seed(
                 epoch_seed,
                 static_cast<std::uint64_t>(batch_ids[static_cast<std::size_t>(g)]),
                 static_cast<std::uint64_t>(l), 0);
-          });
+          },
+          &ws_);
     });
 
     // --- EXTRACT: distributed row-extraction SpGEMM on the stacked Q_R,
@@ -254,6 +262,7 @@ std::vector<std::vector<MinibatchSample>> PartitionedLadiesSampler::sample_rows(
     xopts.sparsity_aware = opts_.sparsity_aware;
     xopts.phase = kPhaseExtraction;
     xopts.local = opts_.local_spgemm;
+    xopts.local.workspace = &ws_;
     const auto ar_blocks = spgemm_15d(cluster, qr_blocks, dist_adj_, xopts);
     timed_rows(cluster, kPhaseExtraction, rows, [&](index_t i) {
       const auto& off = stacks[static_cast<std::size_t>(i)].offsets;
@@ -264,7 +273,7 @@ std::vector<std::vector<MinibatchSample>> PartitionedLadiesSampler::sample_rows(
         const std::vector<index_t> sampled(cols.begin(), cols.end());
         const CsrMatrix ar_b =
             row_slice(ar_blocks[static_cast<std::size_t>(i)], off[b], off[b + 1]);
-        const CsrMatrix a_s = extract_sampled_columns(ar_b, sampled);
+        const CsrMatrix a_s = extract_sampled_columns(ar_b, sampled, &ws_);
         LayerSample layer = ladies_assemble_layer(row_cur[b], sampled, a_s);
         row_cur[b] = layer.col_vertices;
         out[static_cast<std::size_t>(i)][b].layers.push_back(std::move(layer));

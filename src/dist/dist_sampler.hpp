@@ -116,6 +116,11 @@ class PartitionedSamplerBase : public MatrixSampler {
   PartitionedSamplerOptions opts_;
   DistBlockRowMatrix dist_adj_;
   Cluster* bound_cluster_ = nullptr;
+  /// Scratch arena shared by every kernel this sampler drives — the 1.5D
+  /// SpGEMM's sequential local panel products, ITS, and the masked
+  /// extractions — and reused across layers/rounds/epochs. Serializes
+  /// sample_bulk per sampler instance (the pipeline is sequential).
+  mutable Workspace ws_;
 };
 
 /// Graph Partitioned GraphSAGE (§5.2 with the §4.1 constructions).

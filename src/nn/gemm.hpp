@@ -1,5 +1,21 @@
-// Dense float GEMM kernels for the propagation step (§6.2). Row-parallel
-// straightforward loops — the CPU stand-in for cuBLAS.
+// Dense float GEMM kernels for the propagation step (§6.2) — the CPU
+// stand-in for cuBLAS.
+//
+// The product kernels are register-/cache-blocked panel kernels (DESIGN.md
+// §7): the output is cut into fixed-size row panels (parallelized over the
+// global thread pool) and each panel into MR×NR register tiles whose
+// accumulators live in vector registers across the whole k loop. The k loop
+// is strictly serial and ascending for every output element, so the blocked
+// kernels are bit-identical to the scalar reference kernels below and to
+// each other across tile shapes, instruction sets, and thread counts.
+// On x86-64 the tile microkernel is dispatched at runtime (AVX-512 → AVX2 →
+// scalar reference); elsewhere the reference kernels run as-is.
+//
+// The elementwise epilogues (axpy / relu / bias) parallelize over fixed
+// element ranges — trivially bit-identical at any thread count. column_sums
+// reduces fixed 128-row blocks serially combined in ascending block order:
+// deterministic and thread-count-independent (see DESIGN.md §7 for why this
+// fixed order, not the thread decomposition, defines the result).
 #pragma once
 
 #include "sparse/dense.hpp"
@@ -15,6 +31,17 @@ DenseF matmul_tn(const DenseF& a, const DenseF& b);
 /// C = A·Bᵀ, A (m×k), B (n×k) → (m×n). Used for input gradients.
 DenseF matmul_nt(const DenseF& a, const DenseF& b);
 
+/// Scalar serial reference kernels (the pre-blocking implementations).
+/// The blocked kernels above are bit-identical to these by construction;
+/// tests and bench/micro_gemm pin that contract down and measure the gap.
+DenseF matmul_reference(const DenseF& a, const DenseF& b);
+DenseF matmul_tn_reference(const DenseF& a, const DenseF& b);
+DenseF matmul_nt_reference(const DenseF& a, const DenseF& b);
+
+/// Name of the tile microkernel the runtime dispatcher selected
+/// ("avx512" / "avx2" / "scalar") — bench/test observability.
+const char* matmul_kernel_name();
+
 /// C += alpha * A (same shape).
 void axpy(DenseF& c, const DenseF& a, float alpha);
 
@@ -27,7 +54,9 @@ void relu_backward_inplace(DenseF& dy, const DenseF& y);
 /// Adds a row vector bias (1×n) to every row of a (m×n).
 void add_bias_inplace(DenseF& a, const DenseF& bias);
 
-/// Column sums of a (m×n) → (1×n). Bias gradient.
+/// Column sums of a (m×n) → (1×n). Bias gradient. Deterministic fixed-order
+/// block reduction: rows are summed in 128-row blocks and the block partials
+/// combined in ascending block order, independent of the thread count.
 DenseF column_sums(const DenseF& a);
 
 /// Approximate FLOP count of matmul (2·m·k·n) — simulator accounting.

@@ -13,35 +13,39 @@ namespace {
 
 // ---------------------------------------------------------------------------
 // Symbolic phase: per-row FLOP bounds and a flop-balanced block decomposition.
+// All symbolic buffers live in the Workspace (a call-local one when the
+// caller didn't supply an arena), so steady-state products allocate only
+// their results.
 // ---------------------------------------------------------------------------
 
 /// prefix[r] = multiply-adds of rows [0, r). prefix.back() is the total.
-std::vector<nnz_t> flop_prefix(const CsrMatrix& a, const CsrMatrix& b) {
-  std::vector<nnz_t> prefix(static_cast<std::size_t>(a.rows()) + 1, 0);
+void flop_prefix(const CsrMatrix& a, const CsrMatrix& b,
+                 std::vector<nnz_t>& prefix) {
+  prefix.assign(static_cast<std::size_t>(a.rows()) + 1, 0);
   for (index_t r = 0; r < a.rows(); ++r) {
     nnz_t f = 0;
     for (const index_t k : a.row_cols(r)) f += b.row_nnz(k);
     prefix[static_cast<std::size_t>(r) + 1] = prefix[static_cast<std::size_t>(r)] + f;
   }
-  return prefix;
 }
 
 /// Row-count prefix for the masked extraction (one "flop" per nonzero).
-std::vector<nnz_t> nnz_prefix(const CsrMatrix& a) {
-  std::vector<nnz_t> prefix(static_cast<std::size_t>(a.rows()) + 1, 0);
+void nnz_prefix(const CsrMatrix& a, std::vector<nnz_t>& prefix) {
+  prefix.assign(static_cast<std::size_t>(a.rows()) + 1, 0);
   for (index_t r = 0; r < a.rows(); ++r) {
     prefix[static_cast<std::size_t>(r) + 1] =
         prefix[static_cast<std::size_t>(r)] + a.row_nnz(r);
   }
-  return prefix;
 }
+
+}  // namespace
 
 /// Contiguous row-range boundaries with ~equal flops per block. Every block
 /// is non-empty by construction, so no worker ever allocates workspace for
 /// an empty range (the old ceil_div split could produce trailing empty
 /// blocks when m was not a multiple of the thread count).
-std::vector<index_t> balanced_bounds(const std::vector<nnz_t>& prefix, index_t m,
-                                     index_t max_blocks) {
+std::vector<index_t> work_balanced_bounds(const std::vector<nnz_t>& prefix,
+                                          index_t m, index_t max_blocks) {
   std::vector<index_t> bounds{0};
   if (m == 0) {
     bounds.push_back(0);
@@ -60,32 +64,49 @@ std::vector<index_t> balanced_bounds(const std::vector<nnz_t>& prefix, index_t m
   return bounds;
 }
 
+namespace {
+
 // ---------------------------------------------------------------------------
 // Numeric phase kernels. All three accumulate each output entry's
 // contributions in the order the A row traverses its B rows and emit sorted
-// rows, so their results are bitwise interchangeable.
+// rows, so their results are bitwise interchangeable. Each accumulator
+// borrows its buffers from the block's workspace slot and re-establishes the
+// state it needs on construction, so slots can be reused across calls and
+// kernels in any order.
 // ---------------------------------------------------------------------------
 
+/// Staged per-block output (stitched into the result CSR afterwards).
 struct BlockOut {
-  std::vector<nnz_t> row_nnz;
-  std::vector<index_t> colidx;
-  std::vector<value_t> vals;
+  explicit BlockOut(WorkspaceSlot& s)
+      : row_nnz(s.row_nnz), colidx(s.colidx), vals(s.vals) {
+    colidx.clear();
+    vals.clear();
+  }
+  std::vector<nnz_t>& row_nnz;
+  std::vector<index_t>& colidx;
+  std::vector<value_t>& vals;
 };
 
 /// Dense accumulator with generation marking: O(1) reset between rows.
+/// Marks are re-initialized per block invocation (stale marks from a
+/// previous product could collide with this product's row ids).
 struct DenseAcc {
-  explicit DenseAcc(index_t cols)
-      : mark(static_cast<std::size_t>(cols), -1),
-        acc(static_cast<std::size_t>(cols), 0.0) {}
+  DenseAcc(WorkspaceSlot& s, index_t cols)
+      : mark(s.mark), acc(s.acc), touched(s.touched) {
+    mark.assign(static_cast<std::size_t>(cols), -1);
+    acc.resize(static_cast<std::size_t>(cols));
+    touched.clear();
+  }
 
-  std::vector<index_t> mark;  // last row id that touched this column
-  std::vector<value_t> acc;
-  std::vector<index_t> touched;  // columns touched by the current row
+  std::vector<index_t>& mark;  // last row id that touched this column
+  std::vector<value_t>& acc;
+  std::vector<index_t>& touched;  // columns touched by the current row
 };
 
 void dense_block(const CsrMatrix& a, const CsrMatrix& b, index_t r0, index_t r1,
-                 BlockOut& out) {
-  DenseAcc ws(b.cols());
+                 WorkspaceSlot& slot) {
+  DenseAcc ws(slot, b.cols());
+  BlockOut out(slot);
   out.row_nnz.assign(static_cast<std::size_t>(r1 - r0), 0);
   for (index_t r = r0; r < r1; ++r) {
     ws.touched.clear();
@@ -117,9 +138,19 @@ void dense_block(const CsrMatrix& a, const CsrMatrix& b, index_t r0, index_t r1,
   }
 }
 
-/// Open-addressing accumulator for one output row (nsparse-style).
+/// Open-addressing accumulator for one output row (nsparse-style), on the
+/// slot's dedicated hash buffers. Invariant across invocations: every key
+/// slot is empty on entry and on exit (the destructor sweeps the last row's
+/// fill), so reuse never pays a full table clear.
 class HashRow {
  public:
+  explicit HashRow(WorkspaceSlot& s)
+      : keys_(s.hash_keys), vals_(s.hash_vals), used_(s.hash_used) {
+    clear_used();
+    mask_ = keys_.empty() ? 0 : keys_.size() - 1;
+  }
+  ~HashRow() { clear_used(); }
+
   void reset(std::size_t upper_bound_fill) {
     // Load factor 1/2, minimum 8 slots.
     std::size_t want = std::max<std::size_t>(8, std::bit_ceil(2 * upper_bound_fill + 1));
@@ -127,9 +158,7 @@ class HashRow {
       keys_.assign(want, kEmpty);
       vals_.assign(want, 0.0);
     } else {
-      for (const index_t k : used_) {
-        keys_[static_cast<std::size_t>(k)] = kEmpty;
-      }
+      clear_used();
       want = keys_.size();
     }
     mask_ = want - 1;
@@ -167,16 +196,24 @@ class HashRow {
   std::size_t fill() const { return used_.size(); }
 
  private:
+  void clear_used() {
+    for (const index_t k : used_) {
+      keys_[static_cast<std::size_t>(k)] = kEmpty;
+    }
+    used_.clear();
+  }
+
   static constexpr index_t kEmpty = -1;
-  std::vector<index_t> keys_;
-  std::vector<value_t> vals_;
-  std::vector<index_t> used_;
+  std::vector<index_t>& keys_;
+  std::vector<value_t>& vals_;
+  std::vector<index_t>& used_;
   std::size_t mask_ = 0;
 };
 
 void hash_block(const CsrMatrix& a, const CsrMatrix& b, index_t r0, index_t r1,
-                std::span<const nnz_t> prefix, BlockOut& out) {
-  HashRow acc;
+                std::span<const nnz_t> prefix, WorkspaceSlot& slot) {
+  HashRow acc(slot);
+  BlockOut out(slot);
   out.row_nnz.assign(static_cast<std::size_t>(r1 - r0), 0);
   for (index_t r = r0; r < r1; ++r) {
     acc.reset(static_cast<std::size_t>(prefix[static_cast<std::size_t>(r) + 1] -
@@ -200,12 +237,16 @@ void hash_block(const CsrMatrix& a, const CsrMatrix& b, index_t r0, index_t r1,
 /// Dense accumulator over mask positions (|mask| ≪ cols, so the workspace is
 /// tiny) plus a sorted-list intersection of each B row against the mask.
 struct MaskedAcc {
-  explicit MaskedAcc(std::size_t s)
-      : mark(s, -1), acc(s, 0.0) {}
+  MaskedAcc(WorkspaceSlot& s, std::size_t size)
+      : mark(s.mark), acc(s.acc), touched(s.touched) {
+    mark.assign(size, -1);
+    acc.resize(size);
+    touched.clear();
+  }
 
-  std::vector<index_t> mark;
-  std::vector<value_t> acc;
-  std::vector<index_t> touched;  // mask positions touched by the current row
+  std::vector<index_t>& mark;
+  std::vector<value_t>& acc;
+  std::vector<index_t>& touched;  // mask positions touched by the current row
 
   void add(index_t row, index_t pos, value_t v) {
     if (mark[static_cast<std::size_t>(pos)] != row) {
@@ -269,23 +310,25 @@ void intersect_sorted(std::span<const index_t> bcols,
   }
 }
 
-/// Dense column→mask-position lookup (-1 when unmasked). Built once per call
-/// — O(cols) — and shared read-only across all blocks when the product's
-/// flop volume amortizes the build; small products use intersect_sorted
-/// instead and never pay the O(cols) setup.
-std::vector<index_t> mask_lookup(const std::vector<index_t>& mask, index_t cols) {
-  std::vector<index_t> pos(static_cast<std::size_t>(cols), -1);
+/// Dense column→mask-position lookup (-1 when unmasked), built into the
+/// workspace's shared buffer. O(cols) — built once per call and shared
+/// read-only across all blocks when the product's flop volume amortizes the
+/// build; small products use intersect_sorted instead and never pay the
+/// O(cols) setup.
+void mask_lookup(const std::vector<index_t>& mask, index_t cols,
+                 std::vector<index_t>& pos) {
+  pos.assign(static_cast<std::size_t>(cols), -1);
   for (std::size_t i = 0; i < mask.size(); ++i) {
     pos[static_cast<std::size_t>(mask[i])] = static_cast<index_t>(i);
   }
-  return pos;
 }
 
 void masked_block(const CsrMatrix& a, const CsrMatrix& b,
                   const std::vector<index_t>& mask,
                   const std::vector<index_t>* lookup, index_t r0, index_t r1,
-                  BlockOut& out) {
-  MaskedAcc ws(mask.size());
+                  WorkspaceSlot& slot) {
+  MaskedAcc ws(slot, mask.size());
+  BlockOut out(slot);
   out.row_nnz.assign(static_cast<std::size_t>(r1 - r0), 0);
   for (index_t r = r0; r < r1; ++r) {
     ws.touched.clear();
@@ -317,18 +360,18 @@ void masked_block(const CsrMatrix& a, const CsrMatrix& b,
   }
 }
 
-/// Stitches per-block outputs into one CSR matrix.
+/// Stitches the per-block staged outputs into one CSR matrix.
 CsrMatrix stitch(index_t m, index_t n, const std::vector<index_t>& bounds,
-                 std::vector<BlockOut>& blocks) {
+                 Workspace& ws) {
   std::vector<nnz_t> rowptr(static_cast<std::size_t>(m) + 1, 0);
   nnz_t total = 0;
   for (std::size_t blk = 0; blk + 1 < bounds.size(); ++blk) {
     const index_t r0 = bounds[blk];
-    const auto& out = blocks[blk];
-    for (std::size_t i = 0; i < out.row_nnz.size(); ++i) {
-      rowptr[static_cast<std::size_t>(r0) + i + 1] = out.row_nnz[i];
+    const WorkspaceSlot& slot = ws.slot(blk);
+    for (std::size_t i = 0; i < slot.row_nnz.size(); ++i) {
+      rowptr[static_cast<std::size_t>(r0) + i + 1] = slot.row_nnz[i];
     }
-    total += static_cast<nnz_t>(out.colidx.size());
+    total += static_cast<nnz_t>(slot.colidx.size());
   }
   for (index_t r = 0; r < m; ++r) {
     rowptr[static_cast<std::size_t>(r) + 1] += rowptr[static_cast<std::size_t>(r)];
@@ -337,12 +380,13 @@ CsrMatrix stitch(index_t m, index_t n, const std::vector<index_t>& bounds,
   std::vector<index_t> colidx(static_cast<std::size_t>(total));
   std::vector<value_t> vals(static_cast<std::size_t>(total));
   nnz_t cursor = 0;
-  for (auto& out : blocks) {
-    std::copy(out.colidx.begin(), out.colidx.end(),
+  for (std::size_t blk = 0; blk + 1 < bounds.size(); ++blk) {
+    const WorkspaceSlot& slot = ws.slot(blk);
+    std::copy(slot.colidx.begin(), slot.colidx.end(),
               colidx.begin() + static_cast<std::ptrdiff_t>(cursor));
-    std::copy(out.vals.begin(), out.vals.end(),
+    std::copy(slot.vals.begin(), slot.vals.end(),
               vals.begin() + static_cast<std::ptrdiff_t>(cursor));
-    cursor += static_cast<nnz_t>(out.colidx.size());
+    cursor += static_cast<nnz_t>(slot.colidx.size());
   }
   return CsrMatrix(m, n, std::move(rowptr), std::move(colidx), std::move(vals));
 }
@@ -387,51 +431,56 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b, const SpgemmOptions& op
         "spgemm: kMasked requires a column_mask");
   if (masked) check_mask(*opts.column_mask, n, "spgemm");
 
+  Workspace local_ws;
+  Workspace& ws = opts.workspace != nullptr ? *opts.workspace : local_ws;
+
   // Symbolic phase: row FLOP bounds, flop-balanced blocks, per-block kernel.
-  const std::vector<nnz_t> prefix = flop_prefix(a, b);
+  std::vector<nnz_t>& prefix = ws.shared_prefix();
+  flop_prefix(a, b, prefix);
   const index_t max_blocks = opts.parallel ? ThreadPool::global().size() : 1;
-  const std::vector<index_t> bounds = balanced_bounds(prefix, m, max_blocks);
+  const std::vector<index_t> bounds = work_balanced_bounds(prefix, m, max_blocks);
+  ws.ensure_slots(bounds.size() - 1);
 
   // For flop-heavy masked products, an O(n) column→position table beats
   // per-row sorted intersection; tiny per-minibatch extractions skip the
   // setup entirely. Either path yields the same bits (identical
   // contribution order), so this is a pure speed knob.
-  std::vector<index_t> lookup;
+  std::vector<index_t>* lookup = nullptr;
   if (masked && !opts.column_mask->empty() &&
       prefix[static_cast<std::size_t>(m)] * 2 >= n) {
-    lookup = mask_lookup(*opts.column_mask, n);
+    mask_lookup(*opts.column_mask, n, ws.shared_lookup());
+    lookup = &ws.shared_lookup();
   }
 
   // Numeric phase.
-  std::vector<BlockOut> blocks(bounds.size() - 1);
   for_blocks(bounds, [&](index_t blk) {
     const index_t r0 = bounds[static_cast<std::size_t>(blk)];
     const index_t r1 = bounds[static_cast<std::size_t>(blk) + 1];
-    BlockOut& out = blocks[static_cast<std::size_t>(blk)];
+    WorkspaceSlot& slot = ws.slot(static_cast<std::size_t>(blk));
     const nnz_t block_flops = prefix[static_cast<std::size_t>(r1)] -
                               prefix[static_cast<std::size_t>(r0)];
     if (block_flops == 0) {
       // All rows in the range are structurally empty: no workspace needed.
+      BlockOut out(slot);
       out.row_nnz.assign(static_cast<std::size_t>(r1 - r0), 0);
       return;
     }
     if (masked) {
-      masked_block(a, b, *opts.column_mask, lookup.empty() ? nullptr : &lookup,
-                   r0, r1, out);
+      masked_block(a, b, *opts.column_mask, lookup, r0, r1, slot);
       return;
     }
     SpgemmKernel kernel = opts.kernel;
     if (kernel == SpgemmKernel::kAuto) kernel = spgemm_pick_kernel(block_flops, n);
     if (kernel == SpgemmKernel::kHash) {
-      hash_block(a, b, r0, r1, prefix, out);
+      hash_block(a, b, r0, r1, prefix, slot);
     } else {
-      dense_block(a, b, r0, r1, out);
+      dense_block(a, b, r0, r1, slot);
     }
   });
 
   const index_t out_cols =
       masked ? static_cast<index_t>(opts.column_mask->size()) : n;
-  return stitch(m, out_cols, bounds, blocks);
+  return stitch(m, out_cols, bounds, ws);
 }
 
 CsrMatrix spgemm_masked(const CsrMatrix& a, const std::vector<index_t>& mask,
@@ -439,15 +488,19 @@ CsrMatrix spgemm_masked(const CsrMatrix& a, const std::vector<index_t>& mask,
   check_mask(mask, a.cols(), "spgemm_masked");
   const index_t m = a.rows();
 
-  const std::vector<nnz_t> prefix = nnz_prefix(a);
-  const index_t max_blocks = opts.parallel ? ThreadPool::global().size() : 1;
-  const std::vector<index_t> bounds = balanced_bounds(prefix, m, max_blocks);
+  Workspace local_ws;
+  Workspace& ws = opts.workspace != nullptr ? *opts.workspace : local_ws;
 
-  std::vector<BlockOut> blocks(bounds.size() - 1);
+  std::vector<nnz_t>& prefix = ws.shared_prefix();
+  nnz_prefix(a, prefix);
+  const index_t max_blocks = opts.parallel ? ThreadPool::global().size() : 1;
+  const std::vector<index_t> bounds = work_balanced_bounds(prefix, m, max_blocks);
+  ws.ensure_slots(bounds.size() - 1);
+
   for_blocks(bounds, [&](index_t blk) {
     const index_t r0 = bounds[static_cast<std::size_t>(blk)];
     const index_t r1 = bounds[static_cast<std::size_t>(blk) + 1];
-    BlockOut& out = blocks[static_cast<std::size_t>(blk)];
+    BlockOut out(ws.slot(static_cast<std::size_t>(blk)));
     out.row_nnz.assign(static_cast<std::size_t>(r1 - r0), 0);
     for (index_t r = r0; r < r1; ++r) {
       const auto avals = a.row_vals(r);
@@ -463,7 +516,7 @@ CsrMatrix spgemm_masked(const CsrMatrix& a, const std::vector<index_t>& mask,
     }
   });
 
-  return stitch(m, static_cast<index_t>(mask.size()), bounds, blocks);
+  return stitch(m, static_cast<index_t>(mask.size()), bounds, ws);
 }
 
 nnz_t spgemm_flops(const CsrMatrix& a, const CsrMatrix& b) {

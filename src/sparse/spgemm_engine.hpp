@@ -32,6 +32,7 @@
 
 #include <vector>
 
+#include "common/workspace.hpp"
 #include "sparse/csr.hpp"
 
 namespace dms {
@@ -50,6 +51,12 @@ struct SpgemmOptions {
   /// renumber them 0..mask.size()-1 in order. Forces the masked kernel.
   /// The pointee must outlive the call.
   const std::vector<index_t>* column_mask = nullptr;
+  /// Reusable scratch arena (DESIGN.md §7). When non-null, every symbolic
+  /// prefix, block accumulator, and staging buffer comes from (and stays
+  /// in) the workspace, so repeated products allocate only their results.
+  /// One kernel invocation at a time per Workspace; results are bitwise
+  /// independent of whether (or which) workspace is supplied.
+  Workspace* workspace = nullptr;
 };
 
 /// C = A * B. A is (m × k), B is (k × n); C is (m × n), or (m × |mask|)
@@ -78,5 +85,14 @@ SpgemmKernel spgemm_pick_kernel(nnz_t block_flops, index_t out_cols);
 /// symbolic phase computes per row; used by the simulator's compute
 /// accounting and by tests.
 nnz_t spgemm_flops(const CsrMatrix& a, const CsrMatrix& b);
+
+/// The symbolic phase's work-balanced block decomposition, exposed for
+/// other row-parallel kernels (ITS balances on the CSR rowptr, which is
+/// exactly a per-row work prefix). Given prefix[r] = work of rows [0, r)
+/// (size m+1), returns contiguous row bounds b_0=0 < b_1 < ... < b_k=m
+/// with ~equal work per block; every block is non-empty and k never
+/// exceeds max_blocks.
+std::vector<index_t> work_balanced_bounds(const std::vector<nnz_t>& prefix,
+                                          index_t m, index_t max_blocks);
 
 }  // namespace dms

@@ -68,6 +68,10 @@ EpochStats StagedPipeline::run(int epoch) {
   correct_ = seen_ = 0;
   double stall = 0.0;
   double prev_round_unhidden = 0.0;
+  // Hoisted per-step fetch buffer: move-assigned by fetch_step each step, so
+  // the container itself is reused across the epoch (the samplers' Workspace
+  // arenas cover the sampling-side scratch the same way).
+  std::vector<DenseF> gathered;
 
   for (std::size_t g = 0; g < rounds.size(); ++g) {
     const double s_cost = sample_round(rounds[g], epoch_seed);
@@ -82,7 +86,6 @@ EpochStats StagedPipeline::run(int epoch) {
     double round_unhidden = 0.0;
     double prev_prop = -1.0;  // <0: no propagation yet in this round
     for (index_t t = rounds[g].step_begin; t < rounds[g].step_end; ++t) {
-      std::vector<DenseF> gathered;
       const double f_cost = fetch_step(t, gathered);
       const double p_cost = train_step(t, gathered);
       if (cfg.overlap) {

@@ -170,5 +170,55 @@ TEST(SpgemmEngine, SkewedRowsStayBitIdenticalAcrossDecompositions) {
   EXPECT_TRUE(par == run(a, b, SpgemmKernel::kAuto, false));
 }
 
+TEST(SpgemmEngine, SharedWorkspaceReuseAcrossKernelsAndShapes) {
+  // One arena serving interleaved dense/hash/auto/masked products of
+  // different shapes must never change any result: every accumulator
+  // re-establishes its own state from whatever a previous call left behind
+  // (the stale-mark / stale-hash-fill regression this pins down).
+  const CsrMatrix a1 = random_csr(40, 90, 0.2, 421);
+  const CsrMatrix b1 = random_csr(90, 120, 0.1, 422);
+  const CsrMatrix a2 = random_csr(7, 300, 0.3, 423);
+  const CsrMatrix b2 = random_csr(300, 50, 0.05, 424);
+  std::vector<index_t> mask;
+  for (index_t c = 3; c < 120; c += 7) mask.push_back(c);
+
+  Workspace ws;
+  for (int round = 0; round < 3; ++round) {
+    for (const SpgemmKernel kernel :
+         {SpgemmKernel::kDense, SpgemmKernel::kHash, SpgemmKernel::kAuto}) {
+      SpgemmOptions fresh;
+      fresh.kernel = kernel;
+      SpgemmOptions reused = fresh;
+      reused.workspace = &ws;
+      EXPECT_TRUE(spgemm(a1, b1, reused) == spgemm(a1, b1, fresh));
+      EXPECT_TRUE(spgemm(a2, b2, reused) == spgemm(a2, b2, fresh));
+    }
+    SpgemmOptions fresh;
+    fresh.column_mask = &mask;
+    SpgemmOptions reused = fresh;
+    reused.workspace = &ws;
+    EXPECT_TRUE(spgemm(a1, b1, reused) == spgemm(a1, b1, fresh));
+    std::vector<index_t> col_mask;  // indexes a1's own 90 columns
+    for (index_t c = 2; c < 90; c += 5) col_mask.push_back(c);
+    SpgemmOptions mfresh;
+    SpgemmOptions mreused;
+    mreused.workspace = &ws;
+    EXPECT_TRUE(spgemm_masked(a1, col_mask, mreused) ==
+                spgemm_masked(a1, col_mask, mfresh));
+  }
+  EXPECT_GT(ws.bytes_held(), 0u);
+}
+
+TEST(SpgemmEngine, WorkspaceSerialAndParallelAgree) {
+  const CsrMatrix a = random_csr(100, 150, 0.15, 431);
+  const CsrMatrix b = random_csr(150, 80, 0.1, 432);
+  Workspace ws;
+  SpgemmOptions par;
+  par.workspace = &ws;
+  SpgemmOptions ser = par;
+  ser.parallel = false;
+  EXPECT_TRUE(spgemm(a, b, par) == spgemm(a, b, ser));
+}
+
 }  // namespace
 }  // namespace dms
