@@ -1,0 +1,299 @@
+// Plan-executor overhead microbench (plain main, no Google Benchmark):
+// runs the same sampling workload through (a) the plan executor — the
+// production path of every sampler since the IR refactor — and (b) a
+// hand-rolled "direct" loop that replays the pre-IR GraphSAGE/LADIES call
+// sequence against the kernels with no IR in between, then reports the
+// relative overhead. --smoke exits nonzero if outputs are not bit-identical
+// or the executor overhead exceeds 3% (the abstraction must stay free);
+// --json=PATH appends rows to the BENCH_micro.json trajectory.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/frontier.hpp"
+#include "core/graphsage.hpp"
+#include "core/its.hpp"
+#include "core/ladies.hpp"
+#include "core/minibatch.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/spgemm_engine.hpp"
+
+namespace dms {
+namespace {
+
+// --- direct references: the pre-IR sampler bodies, inlined -----------------
+
+std::vector<MinibatchSample> direct_sage(
+    const Graph& graph, const SamplerConfig& cfg,
+    const std::vector<std::vector<index_t>>& batches,
+    const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed,
+    Workspace& ws) {
+  const auto k = static_cast<index_t>(batches.size());
+  const index_t n = graph.num_vertices();
+  std::vector<MinibatchSample> out(static_cast<std::size_t>(k));
+  std::vector<std::vector<index_t>> frontier(static_cast<std::size_t>(k));
+  for (index_t i = 0; i < k; ++i) {
+    out[static_cast<std::size_t>(i)].batch_vertices = batches[static_cast<std::size_t>(i)];
+    frontier[static_cast<std::size_t>(i)] = batches[static_cast<std::size_t>(i)];
+  }
+  for (index_t l = 0; l < cfg.num_layers(); ++l) {
+    const index_t s = cfg.fanouts[static_cast<std::size_t>(l)];
+    const FrontierStack stack = stack_frontiers(frontier);
+    const CsrMatrix q = CsrMatrix::one_nonzero_per_row(n, stack.vertices);
+    SpgemmOptions sopts;
+    sopts.workspace = &ws;
+    CsrMatrix p = spgemm(q, graph.adjacency(), sopts);
+    normalize_rows(p);
+    const CsrMatrix qs = its_sample_rows(
+        p, s, sage_row_seed_fn(stack, batch_ids, 0, l, epoch_seed), &ws);
+    for (index_t i = 0; i < k; ++i) {
+      LayerSample layer = sage_extract_layer(qs, stack, static_cast<std::size_t>(i),
+                                             frontier[static_cast<std::size_t>(i)]);
+      frontier[static_cast<std::size_t>(i)] = layer.col_vertices;
+      out[static_cast<std::size_t>(i)].layers.push_back(std::move(layer));
+    }
+  }
+  return out;
+}
+
+std::vector<MinibatchSample> direct_ladies(
+    const Graph& graph, const SamplerConfig& cfg,
+    const std::vector<std::vector<index_t>>& batches,
+    const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed,
+    Workspace& ws) {
+  const auto k = static_cast<index_t>(batches.size());
+  const index_t n = graph.num_vertices();
+  std::vector<MinibatchSample> out(static_cast<std::size_t>(k));
+  std::vector<std::vector<index_t>> current(static_cast<std::size_t>(k));
+  for (index_t i = 0; i < k; ++i) {
+    out[static_cast<std::size_t>(i)].batch_vertices = batches[static_cast<std::size_t>(i)];
+    current[static_cast<std::size_t>(i)] = batches[static_cast<std::size_t>(i)];
+  }
+  for (index_t l = 0; l < cfg.num_layers(); ++l) {
+    const index_t s = cfg.fanouts[static_cast<std::size_t>(l)];
+    const CsrMatrix q = ladies_indicator_rows(n, current);
+    SpgemmOptions popts;
+    popts.workspace = &ws;
+    CsrMatrix p = spgemm(q, graph.adjacency(), popts);
+    ladies_norm(p);
+    const CsrMatrix qs = its_sample_rows(
+        p, s,
+        [&](index_t row) {
+          return derive_seed(
+              epoch_seed,
+              static_cast<std::uint64_t>(batch_ids[static_cast<std::size_t>(row)]),
+              static_cast<std::uint64_t>(l), 0);
+        },
+        &ws);
+    for (index_t i = 0; i < k; ++i) {
+      const auto& rows = current[static_cast<std::size_t>(i)];
+      std::vector<index_t> sampled(qs.row_cols(i).begin(), qs.row_cols(i).end());
+      const CsrMatrix qr = CsrMatrix::one_nonzero_per_row(n, rows);
+      SpgemmOptions mopts;
+      mopts.column_mask = &sampled;
+      mopts.workspace = &ws;
+      const CsrMatrix a_s = spgemm(qr, graph.adjacency(), mopts);
+      LayerSample layer = ladies_assemble_layer(rows, sampled, a_s);
+      current[static_cast<std::size_t>(i)] = layer.col_vertices;
+      out[static_cast<std::size_t>(i)].layers.push_back(std::move(layer));
+    }
+  }
+  return out;
+}
+
+bool identical(const std::vector<MinibatchSample>& a,
+               const std::vector<MinibatchSample>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].batch_vertices != b[i].batch_vertices) return false;
+    if (a[i].layers.size() != b[i].layers.size()) return false;
+    for (std::size_t l = 0; l < a[i].layers.size(); ++l) {
+      if (!(a[i].layers[l].adj == b[i].layers[l].adj)) return false;
+      if (a[i].layers[l].row_vertices != b[i].layers[l].row_vertices) return false;
+      if (a[i].layers[l].col_vertices != b[i].layers[l].col_vertices) return false;
+    }
+  }
+  return true;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t m = v.size() / 2;
+  return v.size() % 2 == 1 ? v[m] : 0.5 * (v[m - 1] + v[m]);
+}
+
+struct CaseResult {
+  std::vector<double> direct_reps;  // seconds per rep, paired with plan_reps
+  std::vector<double> plan_reps;
+  bool bit_identical = false;
+  double direct_s() const { return median(direct_reps); }
+  double plan_s() const { return median(plan_reps); }
+  /// Median of the per-rep paired ratios: each rep measures both paths
+  /// back-to-back, so the ratio cancels frequency/contention drift and the
+  /// median discards outlier reps.
+  double overhead() const {
+    std::vector<double> ratios(direct_reps.size());
+    for (std::size_t i = 0; i < ratios.size(); ++i) {
+      ratios[i] = plan_reps[i] / direct_reps[i] - 1.0;
+    }
+    return median(ratios);
+  }
+};
+
+template <typename DirectFn>
+CaseResult run_case(const MatrixSampler& plan_sampler, DirectFn&& direct,
+                    const Graph& graph, const SamplerConfig& cfg,
+                    const std::vector<std::vector<index_t>>& batches, int reps,
+                    int inner) {
+  std::vector<index_t> ids(batches.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<index_t>(i);
+  Workspace direct_ws;
+  CaseResult r;
+  r.bit_identical = true;
+  // One warm-up epoch per path populates both workspaces, then alternating
+  // paired measurements summarized by medians (pairing cancels drift
+  // between the paths, the median discards outlier reps). `inner` epochs
+  // per measurement keep each sample long enough for the clock to resolve
+  // the small LADIES workload.
+  (void)direct(graph, cfg, batches, ids, 0, direct_ws);
+  (void)plan_sampler.sample_bulk(batches, ids, 0);
+  for (int rep = 1; rep <= reps; ++rep) {
+    // Correctness first, outside the timed region.
+    const auto check_seed = static_cast<std::uint64_t>(rep);
+    r.bit_identical =
+        r.bit_identical &&
+        identical(direct(graph, cfg, batches, ids, check_seed, direct_ws),
+                  plan_sampler.sample_bulk(batches, ids, check_seed));
+    Timer td;
+    for (int e = 0; e < inner; ++e) {
+      (void)direct(graph, cfg, batches, ids,
+                   static_cast<std::uint64_t>(rep * inner + e), direct_ws);
+    }
+    r.direct_reps.push_back(td.seconds());
+    Timer tp;
+    for (int e = 0; e < inner; ++e) {
+      (void)plan_sampler.sample_bulk(
+          batches, ids, static_cast<std::uint64_t>(rep * inner + e));
+    }
+    r.plan_reps.push_back(tp.seconds());
+  }
+  return r;
+}
+
+int run(bool smoke, const std::string& json_path) {
+  const Dataset& ds = bench::dataset("products");
+  const int reps = smoke ? 7 : 11;
+  auto batches = make_epoch_batches(ds.train_idx, bench::arch().sage_batch, 1);
+  batches.resize(std::min<std::size_t>(batches.size(), smoke ? 16 : 64));
+
+  const SamplerConfig sage_cfg{bench::arch().sage_fanout, 1};
+  const SamplerConfig ladies_cfg{{bench::arch().ladies_s}, 1};
+  GraphSageSampler sage(ds.graph, sage_cfg);
+  LadiesSampler ladies(ds.graph, ladies_cfg);
+
+  // LADIES epochs are milliseconds at bench scale; loop them so each timed
+  // sample is long enough for a stable min.
+  const CaseResult sage_r =
+      run_case(sage, direct_sage, ds.graph, sage_cfg, batches, reps, 1);
+  const CaseResult ladies_r =
+      run_case(ladies, direct_ladies, ds.graph, ladies_cfg, batches, reps, 24);
+
+  std::printf("Plan-executor overhead vs direct kernel calls (%s, %zu "
+              "minibatches, median of %d paired reps):\n",
+              ds.name.c_str(), batches.size(), reps);
+  std::printf("  %-8s direct %.4fs  plan %.4fs  overhead %+.2f%%  bits %s\n",
+              "sage", sage_r.direct_s(), sage_r.plan_s(), 100.0 * sage_r.overhead(),
+              sage_r.bit_identical ? "identical" : "DIFFER");
+  std::printf("  %-8s direct %.4fs  plan %.4fs  overhead %+.2f%%  bits %s\n",
+              "ladies", ladies_r.direct_s(), ladies_r.plan_s(),
+              100.0 * ladies_r.overhead(),
+              ladies_r.bit_identical ? "identical" : "DIFFER");
+
+  // The gate is the combined workload: per-case numbers on millisecond
+  // epochs swing a few percent with allocator/cache state, but the summed
+  // min-of-reps is stable and is what a training epoch actually pays.
+  const double combined =
+      (sage_r.plan_s() + ladies_r.plan_s()) /
+          (sage_r.direct_s() + ladies_r.direct_s()) -
+      1.0;
+  std::printf("  combined overhead %+.2f%%\n", 100.0 * combined);
+
+  if (!json_path.empty()) {
+    bench::JsonWriter json(json_path, /*append=*/true);
+    if (!json.ok()) {
+      std::fprintf(stderr, "micro_plan: cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    const std::string bench_id =
+        std::string("micro_plan/overhead") + (smoke ? " (smoke)" : "");
+    for (const auto& [name, r] :
+         {std::pair<const char*, const CaseResult&>{"sage", sage_r},
+          std::pair<const char*, const CaseResult&>{"ladies", ladies_r}}) {
+      json.row({{"bench", bench_id},
+                {"case", name},
+                {"direct_s", r.direct_s()},
+                {"plan_s", r.plan_s()},
+                {"overhead_pct", 100.0 * r.overhead()},
+                {"bit_identical", r.bit_identical ? "yes" : "no"}});
+    }
+    json.row({{"bench", bench_id},
+              {"case", "combined"},
+              {"direct_s", sage_r.direct_s() + ladies_r.direct_s()},
+              {"plan_s", sage_r.plan_s() + ladies_r.plan_s()},
+              {"overhead_pct", 100.0 * combined},
+              {"bit_identical",
+               sage_r.bit_identical && ladies_r.bit_identical ? "yes" : "no"}});
+    std::printf("JSON appended to %s\n", json_path.c_str());
+  }
+
+  if (smoke) {
+    // The IR must stay free: combined overhead under 3%, and neither case
+    // may regress badly on its own (the per-case numbers swing a few
+    // percent with allocator/cache state on millisecond epochs, so the
+    // per-case bound is looser — it catches structural regressions, not
+    // noise, which the combined gate would otherwise hide behind the
+    // larger SAGE workload).
+    constexpr double kMaxCombined = 0.03;
+    constexpr double kMaxPerCase = 0.10;
+    if (!sage_r.bit_identical || !ladies_r.bit_identical) {
+      std::fprintf(stderr, "FAIL: plan outputs diverge from direct outputs\n");
+      return 1;
+    }
+    if (combined > kMaxCombined) {
+      std::fprintf(stderr, "FAIL: combined executor overhead %.2f%% above %.0f%%\n",
+                   100.0 * combined, 100.0 * kMaxCombined);
+      return 1;
+    }
+    if (sage_r.overhead() > kMaxPerCase || ladies_r.overhead() > kMaxPerCase) {
+      std::fprintf(stderr, "FAIL: per-case executor overhead above %.0f%%\n",
+                   100.0 * kMaxPerCase);
+      return 1;
+    }
+    std::printf("SMOKE OK: bit-identical, combined overhead under %.0f%%, "
+                "per-case under %.0f%%\n",
+                100.0 * kMaxCombined, 100.0 * kMaxPerCase);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dms
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    }
+  }
+  return dms::run(smoke, json_path);
+}

@@ -52,6 +52,8 @@ int main() {
          batches);
   report("LADIES", *make_sampler(SamplerKind::kLadies, ds.graph, {{64}, 1}), batches);
   report("FastGCN", *make_sampler(SamplerKind::kFastGcn, ds.graph, {{64}, 1}), batches);
+  report("LABOR", *make_sampler(SamplerKind::kLabor, ds.graph, {{8, 4, 4}, 1}),
+         batches);
   GraphSaintConfig saint_cfg;
   saint_cfg.walk_length = 3;
   saint_cfg.model_layers = 3;
@@ -61,8 +63,10 @@ int main() {
   std::printf("\nNode-wise SAGE grows the frontier multiplicatively per layer\n"
               "(neighborhood explosion, capped by fanout); layer-wise LADIES and\n"
               "FastGCN bound every layer at s vertices; graph-wise SAINT-RW trains\n"
-              "on one induced subgraph reused across layers. LADIES restricts\n"
-              "samples to the aggregated neighborhood; FastGCN may sample\n"
+              "on one induced subgraph reused across layers. LABOR matches SAGE's\n"
+              "expected fanout but shares per-vertex randomness within a batch, so\n"
+              "its input frontier (the feature-fetch volume) is smaller. LADIES\n"
+              "restricts samples to the aggregated neighborhood; FastGCN may sample\n"
               "disconnected vertices (the accuracy trade-off of §2.2.2).\n");
   return 0;
 }

@@ -1,102 +1,46 @@
 #include "core/fastgcn.hpp"
 
-#include <unordered_map>
-#include <unordered_set>
-
-#include "common/rng.hpp"
-#include "core/its.hpp"
-#include "sparse/coo.hpp"
-#include "sparse/ops.hpp"
-#include "sparse/spgemm_engine.hpp"
+#include "plan/builders.hpp"
 
 namespace dms {
 
+std::vector<value_t> fastgcn_importance(const Graph& graph) {
+  std::vector<value_t> importance(
+      static_cast<std::size_t>(graph.num_vertices()), 0.0);
+  for (const index_t c : graph.adjacency().colidx()) {
+    importance[static_cast<std::size_t>(c)] += 1.0;
+  }
+  for (auto& v : importance) v = v * v;
+  return importance;
+}
+
+std::vector<value_t> fastgcn_importance_prefix(
+    const std::vector<value_t>& importance) {
+  std::vector<value_t> prefix(1, 0.0);
+  prefix.reserve(importance.size() + 1);
+  for (const value_t v : importance) prefix.push_back(prefix.back() + v);
+  return prefix;
+}
+
+std::vector<value_t> fastgcn_importance_prefix(const Graph& graph) {
+  return fastgcn_importance_prefix(fastgcn_importance(graph));
+}
+
 FastGcnSampler::FastGcnSampler(const Graph& graph, SamplerConfig config)
-    : graph_(graph), config_(std::move(config)) {
-  check(!config_.fanouts.empty(), "FastGcnSampler: fanouts must be non-empty");
-  const index_t n = graph_.num_vertices();
-  importance_.assign(static_cast<std::size_t>(n), 0.0);
-  for (const index_t c : graph_.adjacency().colidx()) {
-    importance_[static_cast<std::size_t>(c)] += 1.0;
-  }
-  for (auto& v : importance_) v = v * v;
-  importance_prefix_.assign(1, 0.0);
-  importance_prefix_.reserve(static_cast<std::size_t>(n) + 1);
-  for (const value_t v : importance_) {
-    importance_prefix_.push_back(importance_prefix_.back() + v);
-  }
+    : graph_(graph),
+      exec_(build_fastgcn_plan(), std::move(config)),
+      importance_(fastgcn_importance(graph)),
+      importance_prefix_(fastgcn_importance_prefix(importance_)) {
+  check(!exec_.config().fanouts.empty(),
+        "FastGcnSampler: fanouts must be non-empty");
 }
 
 std::vector<MinibatchSample> FastGcnSampler::sample_bulk(
     const std::vector<std::vector<index_t>>& batches,
     const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed) const {
   check(batches.size() == batch_ids.size(), "sample_bulk: ids/batches mismatch");
-  const index_t k = static_cast<index_t>(batches.size());
-  const index_t n = graph_.num_vertices();
-  const index_t num_layers = config_.num_layers();
-
-  std::vector<MinibatchSample> out(static_cast<std::size_t>(k));
-  std::vector<std::vector<index_t>> current(static_cast<std::size_t>(k));
-  for (index_t i = 0; i < k; ++i) {
-    out[static_cast<std::size_t>(i)].batch_vertices = batches[static_cast<std::size_t>(i)];
-    current[static_cast<std::size_t>(i)] = batches[static_cast<std::size_t>(i)];
-  }
-
-  ws_.ensure_slots(1);
-  std::vector<index_t> sampled;
-  for (index_t l = 0; l < num_layers; ++l) {
-    const index_t s = config_.fanouts[static_cast<std::size_t>(l)];
-    for (index_t i = 0; i < k; ++i) {
-      // SAMPLE from the shared importance distribution; the chosen-flags
-      // scratch lives in the workspace so the per-batch loop is
-      // allocation-free.
-      its_sample_one(importance_prefix_, s,
-                     derive_seed(epoch_seed,
-                                 static_cast<std::uint64_t>(batch_ids[static_cast<std::size_t>(i)]),
-                                 static_cast<std::uint64_t>(l), 1),
-                     &sampled, ws_.slot(0).flags);
-
-      // EXTRACT: edges between the current set and the sampled set, via the
-      // same fused masked-extraction SpGEMM as LADIES (§4.2.3). The engine
-      // computes only the sampled columns of Qᵣ·A; its_sample_one returns
-      // ascending distinct ids, satisfying the mask contract, and column j
-      // of A_S maps to sampled[j] exactly as the old Q_C product did.
-      const auto& rows = current[static_cast<std::size_t>(i)];
-      const CsrMatrix qr = CsrMatrix::one_nonzero_per_row(n, rows);
-      SpgemmOptions mopts;
-      mopts.column_mask = &sampled;
-      mopts.workspace = &ws_;
-      const CsrMatrix a_s = spgemm(qr, graph_.adjacency(), mopts);
-
-      // Assemble: frontier = rows ∪ sampled (rows lead; see sampler.hpp).
-      LayerSample layer;
-      layer.row_vertices = rows;
-      layer.col_vertices = rows;
-      std::unordered_map<index_t, index_t> pos;
-      for (std::size_t j = 0; j < rows.size(); ++j) {
-        pos.emplace(rows[j], static_cast<index_t>(j));
-      }
-      std::vector<index_t> col_map(sampled.size());
-      for (std::size_t j = 0; j < sampled.size(); ++j) {
-        auto [it, inserted] =
-            pos.emplace(sampled[j], static_cast<index_t>(layer.col_vertices.size()));
-        if (inserted) layer.col_vertices.push_back(sampled[j]);
-        col_map[j] = it->second;
-      }
-      CooMatrix coo(a_s.rows(), static_cast<index_t>(layer.col_vertices.size()));
-      for (index_t r = 0; r < a_s.rows(); ++r) {
-        for (const index_t c : a_s.row_cols(r)) {
-          coo.push(r, col_map[static_cast<std::size_t>(c)], 1.0);
-        }
-      }
-      layer.adj = CsrMatrix::from_coo(coo);
-      for (auto& v : layer.adj.mutable_vals()) v = 1.0;
-
-      current[static_cast<std::size_t>(i)] = layer.col_vertices;
-      out[static_cast<std::size_t>(i)].layers.push_back(std::move(layer));
-    }
-  }
-  return out;
+  return exec_.run(graph_, batches, batch_ids, epoch_seed, &ws_,
+                   &importance_prefix_);
 }
 
 }  // namespace dms

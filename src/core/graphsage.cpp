@@ -1,10 +1,8 @@
 #include "core/graphsage.hpp"
 
 #include "common/rng.hpp"
-#include "core/frontier.hpp"
-#include "core/its.hpp"
+#include "plan/builders.hpp"
 #include "sparse/ops.hpp"
-#include "sparse/spgemm_engine.hpp"
 
 namespace dms {
 
@@ -43,9 +41,10 @@ LayerSample sage_extract_layer(const CsrMatrix& qs, const FrontierStack& stack,
 }
 
 GraphSageSampler::GraphSageSampler(const Graph& graph, SamplerConfig config)
-    : graph_(graph), config_(std::move(config)) {
-  check(!config_.fanouts.empty(), "GraphSageSampler: fanouts must be non-empty");
-  for (const index_t f : config_.fanouts) {
+    : graph_(graph), exec_(build_sage_plan(), std::move(config)) {
+  check(!exec_.config().fanouts.empty(),
+        "GraphSageSampler: fanouts must be non-empty");
+  for (const index_t f : exec_.config().fanouts) {
     check(f > 0, "GraphSageSampler: fanouts must be positive");
   }
 }
@@ -54,45 +53,7 @@ std::vector<MinibatchSample> GraphSageSampler::sample_bulk(
     const std::vector<std::vector<index_t>>& batches,
     const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed) const {
   check(batches.size() == batch_ids.size(), "sample_bulk: ids/batches mismatch");
-  const index_t k = static_cast<index_t>(batches.size());
-  const index_t n = graph_.num_vertices();
-  const index_t num_layers = config_.num_layers();
-
-  std::vector<MinibatchSample> out(static_cast<std::size_t>(k));
-  std::vector<std::vector<index_t>> frontier(static_cast<std::size_t>(k));
-  for (index_t i = 0; i < k; ++i) {
-    out[static_cast<std::size_t>(i)].batch_vertices = batches[static_cast<std::size_t>(i)];
-    frontier[static_cast<std::size_t>(i)] = batches[static_cast<std::size_t>(i)];
-  }
-
-  for (index_t l = 0; l < num_layers; ++l) {
-    const index_t s = config_.fanouts[static_cast<std::size_t>(l)];
-
-    // --- Stack the per-batch Q blocks (Eq. 1): one nonzero per row. ---
-    const FrontierStack stack = stack_frontiers(frontier);
-    const CsrMatrix q = CsrMatrix::one_nonzero_per_row(n, stack.vertices);
-
-    // --- Generate probability distributions: P ← Q·A, NORM(P). ---
-    SpgemmOptions sopts;
-    sopts.workspace = &ws_;
-    CsrMatrix p = spgemm(q, graph_.adjacency(), sopts);
-    normalize_rows(p);
-
-    // --- SAMPLE(P, b, s) with ITS; seeds keyed by (epoch, batch, layer,
-    // local row) so results do not depend on k or the rank layout. ---
-    const CsrMatrix qs = its_sample_rows(
-        p, s, sage_row_seed_fn(stack, batch_ids, 0, l, epoch_seed), &ws_);
-
-    // --- EXTRACT per batch block: renumber sampled columns into the new
-    // frontier (row vertices lead, §4.1.3). ---
-    for (index_t i = 0; i < k; ++i) {
-      LayerSample layer = sage_extract_layer(qs, stack, static_cast<std::size_t>(i),
-                                             frontier[static_cast<std::size_t>(i)]);
-      frontier[static_cast<std::size_t>(i)] = layer.col_vertices;
-      out[static_cast<std::size_t>(i)].layers.push_back(std::move(layer));
-    }
-  }
-  return out;
+  return exec_.run(graph_, batches, batch_ids, epoch_seed, &ws_);
 }
 
 }  // namespace dms

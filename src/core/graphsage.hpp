@@ -1,4 +1,5 @@
-// Matrix-based GraphSAGE sampler (§4.1).
+// Matrix-based GraphSAGE sampler (§4.1), compiled to a sampling plan
+// (DESIGN.md §9).
 //
 // Per layer (Algorithm 1 with the GraphSAGE constructions):
 //   Q     one nonzero per row, column = frontier vertex id        (§4.1.1)
@@ -7,6 +8,11 @@
 //   Aˡ    ← per-batch extraction (remove empty columns / renumber) (§4.1.3)
 // Bulk sampling stacks the per-batch blocks vertically (Eq. 1) and runs the
 // identical matrix operations on the stacked matrices (§4.1.4).
+//
+// The sequence above IS the plan built by build_sage_plan(); this class is
+// the SamplerConfig validation plus a PlanExecutor delegation. The Graph
+// Partitioned variant (src/dist) runs the dist-lowered copy of the same
+// plan, which is what makes both modes bit-identical by construction.
 #pragma once
 
 #include <cstdint>
@@ -15,11 +21,12 @@
 #include "core/frontier.hpp"
 #include "core/its.hpp"
 #include "core/sampler.hpp"
+#include "plan/executor.hpp"
 
 namespace dms {
 
 /// Row-seed function for ITS over a stacked P (shared verbatim with the
-/// Graph Partitioned sampler so both execution modes sample bit-identically):
+/// plan executor so every execution mode samples bit-identically):
 /// maps a stacked row back to (batch, local row) and derives the (epoch,
 /// global batch id, layer, local row) seed. `first_batch` is the global
 /// index of the stack's first batch within `batch_ids` (0 single-node; the
@@ -33,7 +40,7 @@ RowSeedFn sage_row_seed_fn(const FrontierStack& stack,
 /// EXTRACT for one batch of a stacked SAGE sample (§4.1.3): gathers the
 /// sampled columns of stacked rows [offsets[b], offsets[b+1]) of qs and
 /// renumbers them into a LayerSample over `frontier_b` (the batch's current
-/// frontier). Shared by both execution modes.
+/// frontier). The kFrontierUnion/kNeighborRows op of the plan executor.
 LayerSample sage_extract_layer(const CsrMatrix& qs, const FrontierStack& stack,
                                std::size_t b,
                                const std::vector<index_t>& frontier_b);
@@ -49,11 +56,17 @@ class GraphSageSampler : public MatrixSampler {
       const std::vector<index_t>& batch_ids,
       std::uint64_t epoch_seed) const override;
 
-  const SamplerConfig& config() const override { return config_; }
+  const SamplerConfig& config() const override { return exec_.config(); }
+  std::map<std::string, double> op_time_breakdown() const override {
+    return exec_.op_seconds();
+  }
+
+  /// The compiled plan (tests / docs).
+  const SamplePlan& plan() const { return exec_.plan(); }
 
  private:
   const Graph& graph_;
-  SamplerConfig config_;
+  PlanExecutor exec_;
   /// Scratch arena reused across layers, bulks, and epochs (steady-state
   /// sampling allocates only its outputs). Makes concurrent sample_bulk
   /// calls on one sampler instance unsupported — the pipeline drives

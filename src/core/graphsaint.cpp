@@ -1,116 +1,29 @@
 #include "core/graphsaint.hpp"
 
-#include <algorithm>
-#include <unordered_set>
-
-#include "common/rng.hpp"
-#include "core/its.hpp"
-#include "sparse/ops.hpp"
-#include "sparse/spgemm_engine.hpp"
+#include "plan/builders.hpp"
 
 namespace dms {
 
-GraphSaintSampler::GraphSaintSampler(const Graph& graph, GraphSaintConfig config)
-    : graph_(graph), config_(config) {
-  check(config_.walk_length >= 1, "GraphSaintSampler: walk_length must be >= 1");
-  check(config_.model_layers >= 1, "GraphSaintSampler: model_layers must be >= 1");
-  sampler_config_.fanouts.assign(static_cast<std::size_t>(config_.model_layers), 1);
-  sampler_config_.seed = config_.seed;
+SamplerConfig GraphSaintSampler::adapter_config(const GraphSaintConfig& config) {
+  // MatrixSampler-interface adapter: one unit fanout per model layer (the
+  // walk length is the plan's explicit round count, not a fanout).
+  SamplerConfig cfg;
+  cfg.fanouts.assign(static_cast<std::size_t>(config.model_layers), 1);
+  cfg.seed = config.seed;
+  return cfg;
 }
+
+GraphSaintSampler::GraphSaintSampler(const Graph& graph, GraphSaintConfig config)
+    : graph_(graph),
+      config_(config),
+      exec_(build_saint_plan(config.walk_length, config.model_layers),
+            adapter_config(config)) {}
 
 std::vector<MinibatchSample> GraphSaintSampler::sample_bulk(
     const std::vector<std::vector<index_t>>& batches,
     const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed) const {
   check(batches.size() == batch_ids.size(), "sample_bulk: ids/batches mismatch");
-  const index_t k = static_cast<index_t>(batches.size());
-  const index_t n = graph_.num_vertices();
-
-  // visited[i]: growing vertex set of minibatch i; walker[i]: current walk
-  // frontier (one row per root, exactly one nonzero — dead walks drop out).
-  std::vector<std::vector<index_t>> visited(static_cast<std::size_t>(k));
-  std::vector<std::vector<index_t>> walker(static_cast<std::size_t>(k));
-  for (index_t i = 0; i < k; ++i) {
-    visited[static_cast<std::size_t>(i)] = batches[static_cast<std::size_t>(i)];
-    walker[static_cast<std::size_t>(i)] = batches[static_cast<std::size_t>(i)];
-  }
-
-  for (index_t step = 0; step < config_.walk_length; ++step) {
-    // Stack all walkers (Eq. 1 bulk form) and advance one step:
-    // P ← Q·A, NORM, Q' ← SAMPLE(P, 1).
-    std::vector<index_t> stacked;
-    std::vector<index_t> offset(static_cast<std::size_t>(k) + 1, 0);
-    for (index_t i = 0; i < k; ++i) {
-      const auto& w = walker[static_cast<std::size_t>(i)];
-      stacked.insert(stacked.end(), w.begin(), w.end());
-      offset[static_cast<std::size_t>(i) + 1] = static_cast<index_t>(stacked.size());
-    }
-    if (stacked.empty()) break;
-    const CsrMatrix q = CsrMatrix::one_nonzero_per_row(n, stacked);
-    SpgemmOptions sopts;
-    sopts.workspace = &ws_;
-    CsrMatrix p = spgemm(q, graph_.adjacency(), sopts);
-    normalize_rows(p);
-
-    std::vector<index_t> row_batch(stacked.size());
-    for (index_t i = 0; i < k; ++i) {
-      for (index_t r = offset[static_cast<std::size_t>(i)];
-           r < offset[static_cast<std::size_t>(i) + 1]; ++r) {
-        row_batch[static_cast<std::size_t>(r)] = i;
-      }
-    }
-    const CsrMatrix qs = its_sample_rows(
-        p, 1,
-        [&](index_t row) {
-          const index_t i = row_batch[static_cast<std::size_t>(row)];
-          const index_t local = row - offset[static_cast<std::size_t>(i)];
-          return derive_seed(
-              epoch_seed,
-              static_cast<std::uint64_t>(batch_ids[static_cast<std::size_t>(i)]),
-              static_cast<std::uint64_t>(step) + 0x5a17,
-              static_cast<std::uint64_t>(local));
-        },
-        &ws_);
-
-    for (index_t i = 0; i < k; ++i) {
-      std::vector<index_t> next;
-      for (index_t r = offset[static_cast<std::size_t>(i)];
-           r < offset[static_cast<std::size_t>(i) + 1]; ++r) {
-        const auto cols = qs.row_cols(r);
-        if (!cols.empty()) {
-          next.push_back(cols[0]);
-          visited[static_cast<std::size_t>(i)].push_back(cols[0]);
-        }
-        // Empty row: the walk hit a sink vertex and terminates.
-      }
-      walker[static_cast<std::size_t>(i)] = std::move(next);
-    }
-  }
-
-  // Induced subgraphs: A_s = A[V_s, V_s] via row extraction + the engine's
-  // masked column extraction (values pass through, so this is bit-identical
-  // to the old extract_columns path).
-  std::vector<MinibatchSample> out(static_cast<std::size_t>(k));
-  for (index_t i = 0; i < k; ++i) {
-    auto& vs = visited[static_cast<std::size_t>(i)];
-    std::sort(vs.begin(), vs.end());
-    vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
-
-    const CsrMatrix rows = extract_rows(graph_.adjacency(), vs);
-    SpgemmOptions mopts;
-    mopts.workspace = &ws_;
-    const CsrMatrix induced = spgemm_masked(rows, vs, mopts);
-
-    LayerSample layer;
-    layer.adj = induced;
-    layer.row_vertices = vs;
-    layer.col_vertices = vs;
-
-    MinibatchSample ms;
-    ms.batch_vertices = vs;
-    for (index_t l = 0; l < config_.model_layers; ++l) ms.layers.push_back(layer);
-    out[static_cast<std::size_t>(i)] = std::move(ms);
-  }
-  return out;
+  return exec_.run(graph_, batches, batch_ids, epoch_seed, &ws_);
 }
 
 }  // namespace dms

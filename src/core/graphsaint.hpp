@@ -1,20 +1,23 @@
 // Matrix-based GraphSAINT-RW sampler — a *graph-wise* sampling algorithm
-// (the third taxonomy of §2.2, which the paper leaves to future work:
-// "we hope to express additional sampling algorithms in this framework").
+// (the third taxonomy of §2.2, which the paper leaves to future work) —
+// compiled to a walk-shaped sampling plan (DESIGN.md §9).
 //
 // GraphSAINT (Zeng et al. 2020) builds each minibatch as the subgraph
 // induced by the union of short random walks from the batch roots. In the
-// matrix framework every step is an existing primitive:
-//   walk step:     P ← Q·A, NORM(P), Q' ← SAMPLE(P, 1)   (ITS with s=1)
-//   subgraph:      V_s = ∪ visited;  A_s = rows/columns of A on V_s
-//                  (row extraction + column extraction, §4.2.3)
+// plan IR every step is an existing op:
+//   walk round:    kBuildQ → kSpgemm → kNormalize → kItsSample(s=1)
+//                  → kWalkAdvance (dead walks drop out, visited grows)
+//   epilogue:      kInducedLayers — V_s = ∪ visited, A_s = A[V_s, V_s]
+//                  (row extraction + masked column extraction, §4.2.3)
 // An L-layer model trains on the same induced adjacency at every layer, so
-// the emitted MinibatchSample repeats A_s L times with rows == columns ==
-// V_s (consistent with the frontier convention of sampler.hpp).
+// the epilogue emits A_s L times with rows == columns == V_s (consistent
+// with the frontier convention of sampler.hpp). The walk length is the
+// plan's explicit round count — independent of the model depth.
 #pragma once
 
 #include "common/workspace.hpp"
 #include "core/sampler.hpp"
+#include "plan/executor.hpp"
 
 namespace dms {
 
@@ -36,13 +39,21 @@ class GraphSaintSampler : public MatrixSampler {
       const std::vector<index_t>& batch_ids,
       std::uint64_t epoch_seed) const override;
 
-  const SamplerConfig& config() const override { return sampler_config_; }
+  const SamplerConfig& config() const override { return exec_.config(); }
+  std::map<std::string, double> op_time_breakdown() const override {
+    return exec_.op_seconds();
+  }
   const GraphSaintConfig& saint_config() const { return config_; }
 
+  /// The compiled plan (tests / docs).
+  const SamplePlan& plan() const { return exec_.plan(); }
+
  private:
+  static SamplerConfig adapter_config(const GraphSaintConfig& config);
+
   const Graph& graph_;
   GraphSaintConfig config_;
-  SamplerConfig sampler_config_;  // adapter for the MatrixSampler interface
+  PlanExecutor exec_;
   /// Scratch arena reused across walk steps/bulks/epochs (see graphsage.hpp).
   mutable Workspace ws_;
 };

@@ -49,7 +49,11 @@ void its_sample_one(const std::vector<value_t>& prefix, index_t s,
                     std::uint64_t seed, std::vector<index_t>* out,
                     std::vector<char>& chosen);
 
-/// Shim keeping the original signature: allocates the scratch per call.
+/// Deprecated shim keeping the original signature: routes through the
+/// caller-scratch overload with one per-call scratch allocation. Hot paths
+/// must pass their own `chosen` scratch (the workspace-arena contract).
+[[deprecated(
+    "pass caller-provided `chosen` scratch; this shim allocates per call")]]
 void its_sample_one(const std::vector<value_t>& prefix, index_t s,
                     std::uint64_t seed, std::vector<index_t>* out);
 

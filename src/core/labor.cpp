@@ -1,0 +1,22 @@
+#include "core/labor.hpp"
+
+#include "plan/builders.hpp"
+
+namespace dms {
+
+LaborSampler::LaborSampler(const Graph& graph, SamplerConfig config)
+    : graph_(graph), exec_(build_labor_plan(), std::move(config)) {
+  check(!exec_.config().fanouts.empty(), "LaborSampler: fanouts must be non-empty");
+  for (const index_t f : exec_.config().fanouts) {
+    check(f > 0, "LaborSampler: fanouts must be positive");
+  }
+}
+
+std::vector<MinibatchSample> LaborSampler::sample_bulk(
+    const std::vector<std::vector<index_t>>& batches,
+    const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed) const {
+  check(batches.size() == batch_ids.size(), "sample_bulk: ids/batches mismatch");
+  return exec_.run(graph_, batches, batch_ids, epoch_seed, &ws_);
+}
+
+}  // namespace dms

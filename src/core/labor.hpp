@@ -1,0 +1,53 @@
+// LABOR sampler (Balin & Çatalyürek 2023, "Layer-Neighbor Sampling —
+// Defusing Neighborhood Explosion in GNNs"), the first sampler defined
+// purely as a plan: build_labor_plan() is the entire algorithm and this
+// class adds nothing but config validation (DESIGN.md §9).
+//
+// LABOR-0 semantics: per layer, vertex u enters the sample of frontier
+// vertex v iff r_u < s / deg(v), where r_u ~ U[0,1) is drawn once per
+// (batch, layer, vertex) and shared by every v of the batch. Per vertex
+// the expected sample size matches GraphSAGE's fanout s (each neighbor is
+// kept with probability min(1, s/deg)), but because the r_u are shared, a
+// vertex admitted by one row is admitted by every row that reaches it —
+// the union frontier (and hence the feature-fetch volume) shrinks relative
+// to independent per-row sampling.
+//
+// Determinism: r_u = uniform(derive_seed(epoch, global batch id, layer,
+// u)) depends only on logical coordinates, so LABOR obeys the same
+// bit-identity contract as every other plan — replicated and partitioned
+// runs agree for every grid shape and thread count.
+#pragma once
+
+#include "common/workspace.hpp"
+#include "core/sampler.hpp"
+#include "plan/executor.hpp"
+
+namespace dms {
+
+class LaborSampler : public MatrixSampler {
+ public:
+  /// The graph must outlive the sampler. fanouts[l] is the expected
+  /// per-vertex sample count of layer l (the Poisson rate).
+  LaborSampler(const Graph& graph, SamplerConfig config);
+
+  std::vector<MinibatchSample> sample_bulk(
+      const std::vector<std::vector<index_t>>& batches,
+      const std::vector<index_t>& batch_ids,
+      std::uint64_t epoch_seed) const override;
+
+  const SamplerConfig& config() const override { return exec_.config(); }
+  std::map<std::string, double> op_time_breakdown() const override {
+    return exec_.op_seconds();
+  }
+
+  /// The compiled plan (tests / docs).
+  const SamplePlan& plan() const { return exec_.plan(); }
+
+ private:
+  const Graph& graph_;
+  PlanExecutor exec_;
+  /// Scratch arena reused across layers/bulks/epochs (see graphsage.hpp).
+  mutable Workspace ws_;
+};
+
+}  // namespace dms

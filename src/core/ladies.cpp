@@ -2,8 +2,7 @@
 
 #include <unordered_map>
 
-#include "common/rng.hpp"
-#include "core/its.hpp"
+#include "plan/builders.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/ops.hpp"
 #include "sparse/spgemm_engine.hpp"
@@ -62,8 +61,8 @@ LayerSample ladies_assemble_layer(const std::vector<index_t>& rows,
 }
 
 LadiesSampler::LadiesSampler(const Graph& graph, SamplerConfig config)
-    : graph_(graph), config_(std::move(config)) {
-  check(!config_.fanouts.empty(), "LadiesSampler: fanouts must be non-empty");
+    : graph_(graph), exec_(build_ladies_plan(), std::move(config)) {
+  check(!exec_.config().fanouts.empty(), "LadiesSampler: fanouts must be non-empty");
 }
 
 std::vector<value_t> LadiesSampler::probability_vector(
@@ -84,58 +83,7 @@ std::vector<MinibatchSample> LadiesSampler::sample_bulk(
     const std::vector<std::vector<index_t>>& batches,
     const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed) const {
   check(batches.size() == batch_ids.size(), "sample_bulk: ids/batches mismatch");
-  const index_t k = static_cast<index_t>(batches.size());
-  const index_t n = graph_.num_vertices();
-  const index_t num_layers = config_.num_layers();
-
-  std::vector<MinibatchSample> out(static_cast<std::size_t>(k));
-  std::vector<std::vector<index_t>> current(static_cast<std::size_t>(k));
-  for (index_t i = 0; i < k; ++i) {
-    out[static_cast<std::size_t>(i)].batch_vertices = batches[static_cast<std::size_t>(i)];
-    current[static_cast<std::size_t>(i)] = batches[static_cast<std::size_t>(i)];
-  }
-
-  for (index_t l = 0; l < num_layers; ++l) {
-    const index_t s = config_.fanouts[static_cast<std::size_t>(l)];
-
-    // --- Probability generation on the stacked Q (one row per batch). ---
-    const CsrMatrix q = ladies_indicator_rows(n, current);
-    SpgemmOptions popts;
-    popts.workspace = &ws_;
-    CsrMatrix p = spgemm(q, graph_.adjacency(), popts);
-    ladies_norm(p);
-
-    // --- SAMPLE: s vertices per batch row. ---
-    const CsrMatrix qs = its_sample_rows(
-        p, s,
-        [&](index_t row) {
-          return derive_seed(
-              epoch_seed,
-              static_cast<std::uint64_t>(batch_ids[static_cast<std::size_t>(row)]),
-              static_cast<std::uint64_t>(l), 0);
-        },
-        &ws_);
-
-    // --- EXTRACT: per-batch fused masked extraction A_S = (Qᵣ·A)[:, S]
-    // (§4.2.4 / §8.2.2). The engine's masked kernel computes only the s
-    // sampled columns, so the full row-extraction product Aᵣ·A is never
-    // materialized; the pattern (all the layer uses) is identical to the
-    // old product-then-slice. The sampled ids come from a CSR row, so they
-    // are sorted and duplicate-free as the mask contract requires. ---
-    for (index_t i = 0; i < k; ++i) {
-      const auto& rows = current[static_cast<std::size_t>(i)];
-      std::vector<index_t> sampled(qs.row_cols(i).begin(), qs.row_cols(i).end());
-      const CsrMatrix qr = CsrMatrix::one_nonzero_per_row(n, rows);
-      SpgemmOptions mopts;
-      mopts.column_mask = &sampled;
-      mopts.workspace = &ws_;
-      const CsrMatrix a_s = spgemm(qr, graph_.adjacency(), mopts);
-      LayerSample layer = ladies_assemble_layer(rows, sampled, a_s);
-      current[static_cast<std::size_t>(i)] = layer.col_vertices;
-      out[static_cast<std::size_t>(i)].layers.push_back(std::move(layer));
-    }
-  }
-  return out;
+  return exec_.run(graph_, batches, batch_ids, epoch_seed, &ws_);
 }
 
 }  // namespace dms

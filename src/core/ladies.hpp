@@ -1,5 +1,6 @@
 // Matrix-based LADIES sampler (§4.2) — the paper's layer-wise example and,
-// distributed, the first fully distributed LADIES implementation (§1).
+// distributed, the first fully distributed LADIES implementation (§1) —
+// compiled to a sampling plan (DESIGN.md §9).
 //
 // Per layer (Algorithm 1 with the LADIES constructions):
 //   Q     one row per batch with |S| nonzeros (indicator of the batch /
@@ -7,20 +8,21 @@
 //   P     ← Q·A; NORM squares each entry and row-normalizes, giving
 //         p_v = e_v² / Σ_u e_u²  (Zou et al. 2019)
 //   Qˡ⁻¹  ← SAMPLE(P, s): s vertices per batch via ITS, §4.2.2
-//   Aˡ    ← Q_R · A · Q_C row/column-extraction SpGEMMs, §4.2.3
-// Bulk mode stacks Q and the Q_R blocks; the column extraction runs as a
-// batch of small SpGEMMs (the block-diagonal construction of §4.2.4, split
-// exactly the way §8.2.2 describes for CSR memory reasons).
+//   Aˡ    ← the fused masked extraction (Q_R·A)[:, S], §4.2.3/§8.2.2
+// This sequence IS build_ladies_plan(); the class is validation plus a
+// PlanExecutor delegation, and the partitioned variant runs the
+// dist-lowered copy of the same plan.
 #pragma once
 
 #include "common/workspace.hpp"
 #include "core/sampler.hpp"
+#include "plan/executor.hpp"
 
 namespace dms {
 
-// Deterministic LADIES building blocks, shared verbatim with the Graph
-// Partitioned sampler (src/dist) so both execution modes produce
-// bit-identical minibatches (the determinism contract of the dist tests).
+// Deterministic LADIES building blocks, shared verbatim with the plan
+// executor so every execution mode produces bit-identical minibatches (the
+// determinism contract of the dist tests).
 
 /// The LADIES Q matrix: one row per batch, indicator of that batch's current
 /// vertex set (§4.2.1).
@@ -35,7 +37,8 @@ void ladies_norm(CsrMatrix& p);
 CsrMatrix ladies_column_extractor(index_t n, const std::vector<index_t>& sampled);
 
 /// Assembles the LayerSample for one batch from the extracted A_S (rows =
-/// current set, columns = sampled order).
+/// current set, columns = sampled order). The kFrontierUnion/kSampledSets
+/// op of the plan executor (also FastGCN's assembly).
 LayerSample ladies_assemble_layer(const std::vector<index_t>& rows,
                                   const std::vector<index_t>& sampled,
                                   const CsrMatrix& a_s);
@@ -49,7 +52,13 @@ class LadiesSampler : public MatrixSampler {
       const std::vector<index_t>& batch_ids,
       std::uint64_t epoch_seed) const override;
 
-  const SamplerConfig& config() const override { return config_; }
+  const SamplerConfig& config() const override { return exec_.config(); }
+  std::map<std::string, double> op_time_breakdown() const override {
+    return exec_.op_seconds();
+  }
+
+  /// The compiled plan (tests / docs).
+  const SamplePlan& plan() const { return exec_.plan(); }
 
   /// The LADIES probability vector for one batch over all n vertices:
   /// p_v = e_v² / Σ e_u² where e_v = |N(v) ∩ batch|. Exposed for tests
@@ -58,7 +67,7 @@ class LadiesSampler : public MatrixSampler {
 
  private:
   const Graph& graph_;
-  SamplerConfig config_;
+  PlanExecutor exec_;
   /// Scratch arena reused across layers/bulks/epochs (see graphsage.hpp).
   mutable Workspace ws_;
 };

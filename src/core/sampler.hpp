@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -85,6 +87,13 @@ class MatrixSampler {
   }
 
   virtual const SamplerConfig& config() const = 0;
+
+  /// Cumulative per-op wall-clock breakdown of the sampler's plan, keyed
+  /// "<plan>/<op label>" (DESIGN.md §9 accounting contract). Plan-backed
+  /// samplers report their executor's table; the default is empty. The
+  /// staged pipeline diffs this across an epoch into
+  /// EpochStats::sampler_ops.
+  virtual std::map<std::string, double> op_time_breakdown() const { return {}; }
 };
 
 }  // namespace dms

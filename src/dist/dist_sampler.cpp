@@ -2,49 +2,10 @@
 
 #include <algorithm>
 
-#include "common/rng.hpp"
-#include "common/timer.hpp"
-#include "core/frontier.hpp"
-#include "core/graphsage.hpp"
-#include "core/its.hpp"
-#include "core/ladies.hpp"
-#include "sparse/coo.hpp"
-#include "sparse/ops.hpp"
-#include "sparse/spgemm_engine.hpp"
+#include "core/fastgcn.hpp"  // fastgcn_importance_prefix (shared weights)
+#include "plan/builders.hpp"
 
 namespace dms {
-
-namespace {
-
-/// Runs body(i) for every process row, advancing the cluster clock by the
-/// max measured time. Replicas of a process row perform identical (seeded)
-/// work, so per-row time equals per-rank time.
-template <typename Fn>
-void timed_rows(Cluster& cluster, const char* phase, index_t rows, Fn&& body) {
-  double max_t = 0.0;
-  for (index_t i = 0; i < rows; ++i) {
-    Timer t;
-    body(i);
-    max_t = std::max(max_t, t.seconds());
-  }
-  cluster.add_compute(phase, max_t);
-}
-
-/// A_S = ar_b · Q_C for the sampled columns, via the engine's masked
-/// extraction. The mask replaces both the Q_C product and the §8.2.2
-/// chunking: no intermediate CSR is ever materialized, and because each A_S
-/// entry is a single pass-through value (the sampled ids are distinct and
-/// sorted, coming from a CSR row), the result is bitwise identical to the
-/// chunked product-then-slice this supersedes.
-CsrMatrix extract_sampled_columns(const CsrMatrix& ar_b,
-                                  const std::vector<index_t>& sampled,
-                                  Workspace* ws) {
-  SpgemmOptions opts;
-  opts.workspace = ws;
-  return spgemm_masked(ar_b, sampled, opts);
-}
-
-}  // namespace
 
 std::vector<BulkRound> plan_bulk_rounds(index_t steps_per_rank, index_t bulk_steps) {
   check(steps_per_rank >= 0, "plan_bulk_rounds: negative step count");
@@ -62,18 +23,22 @@ PartitionedSamplerBase::PartitionedSamplerBase(const Graph& graph,
                                                const ProcessGrid& grid,
                                                SamplerConfig config,
                                                PartitionedSamplerOptions opts,
+                                               SamplePlan plan,
                                                const std::string& name)
     : graph_(graph),
       grid_(grid),
-      config_(std::move(config)),
       opts_(opts),
-      dist_adj_(grid, graph.adjacency()) {
-  check(!config_.fanouts.empty(), name + ": fanouts must be non-empty");
-  for (const index_t f : config_.fanouts) {
+      dist_adj_(grid, graph.adjacency()),
+      exec_(lower_to_dist(plan), std::move(config)) {
+  check(!exec_.config().fanouts.empty(), name + ": fanouts must be non-empty");
+  for (const index_t f : exec_.config().fanouts) {
     check(f > 0, name + ": fanouts must be positive");
   }
   check(opts_.ladies_extract_chunk > 0,
         name + ": ladies_extract_chunk must be positive");
+  if (exec_.plan().needs_global_weights) {
+    global_weights_ = fastgcn_importance_prefix(graph);
+  }
 }
 
 std::vector<std::vector<MinibatchSample>> PartitionedSamplerBase::sample_bulk(
@@ -84,7 +49,10 @@ std::vector<std::vector<MinibatchSample>> PartitionedSamplerBase::sample_bulk(
             cluster.grid().replication() == grid_.replication(),
         "sample_bulk: cluster grid does not match the sampler's grid");
   const BlockPartition assign(static_cast<index_t>(batches.size()), grid_.rows());
-  return sample_rows(cluster, assign, batches, batch_ids, epoch_seed);
+  return exec_.run_partitioned(
+      cluster, dist_adj_, assign, batches, batch_ids, epoch_seed, &ws_,
+      opts_.local_spgemm, opts_.sparsity_aware,
+      global_weights_.empty() ? nullptr : &global_weights_);
 }
 
 std::vector<MinibatchSample> PartitionedSamplerBase::sample_bulk(
@@ -110,177 +78,27 @@ PartitionedSageSampler::PartitionedSageSampler(const Graph& graph,
                                                SamplerConfig config,
                                                PartitionedSamplerOptions opts)
     : PartitionedSamplerBase(graph, grid, std::move(config), opts,
-                             "PartitionedSageSampler") {}
-
-std::vector<std::vector<MinibatchSample>> PartitionedSageSampler::sample_rows(
-    Cluster& cluster, const BlockPartition& assign,
-    const std::vector<std::vector<index_t>>& batches,
-    const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed) const {
-  const index_t rows = grid_.rows();
-  const index_t n = graph_.num_vertices();
-  const index_t num_layers = config_.num_layers();
-
-  std::vector<std::vector<MinibatchSample>> out(static_cast<std::size_t>(rows));
-  // frontier[i][b]: the current frontier of process row i's b-th minibatch.
-  std::vector<std::vector<std::vector<index_t>>> frontier(
-      static_cast<std::size_t>(rows));
-  for (index_t i = 0; i < rows; ++i) {
-    for (index_t g = assign.begin(i); g < assign.end(i); ++g) {
-      MinibatchSample ms;
-      ms.batch_vertices = batches[static_cast<std::size_t>(g)];
-      out[static_cast<std::size_t>(i)].push_back(std::move(ms));
-      frontier[static_cast<std::size_t>(i)].push_back(
-          batches[static_cast<std::size_t>(g)]);
-    }
-  }
-
-  for (index_t l = 0; l < num_layers; ++l) {
-    const index_t s = config_.fanouts[static_cast<std::size_t>(l)];
-
-    // --- Probability generation: per-row stacked Q (Eq. 1) via the shared
-    // SAGE stacking, then the 1.5D SpGEMM and NORM. ---
-    std::vector<CsrMatrix> q_blocks(static_cast<std::size_t>(rows));
-    std::vector<FrontierStack> stacks(static_cast<std::size_t>(rows));
-    timed_rows(cluster, kPhaseProbability, rows, [&](index_t i) {
-      stacks[static_cast<std::size_t>(i)] =
-          stack_frontiers(frontier[static_cast<std::size_t>(i)]);
-      q_blocks[static_cast<std::size_t>(i)] = CsrMatrix::one_nonzero_per_row(
-          n, stacks[static_cast<std::size_t>(i)].vertices);
-    });
-    Spgemm15dOptions sopts;
-    sopts.sparsity_aware = opts_.sparsity_aware;
-    sopts.phase = kPhaseProbability;
-    sopts.local = opts_.local_spgemm;
-    sopts.local.workspace = &ws_;
-    auto p_blocks = spgemm_15d(cluster, q_blocks, dist_adj_, sopts);
-    timed_rows(cluster, kPhaseProbability, rows, [&](index_t i) {
-      normalize_rows(p_blocks[static_cast<std::size_t>(i)]);
-    });
-
-    // --- SAMPLE: ITS with the shared (epoch, global batch id, layer, local
-    // row) seed derivation, independent of the rank layout. ---
-    std::vector<CsrMatrix> qs(static_cast<std::size_t>(rows));
-    timed_rows(cluster, kPhaseSampling, rows, [&](index_t i) {
-      qs[static_cast<std::size_t>(i)] = its_sample_rows(
-          p_blocks[static_cast<std::size_t>(i)], s,
-          sage_row_seed_fn(stacks[static_cast<std::size_t>(i)], batch_ids,
-                           assign.begin(i), l, epoch_seed),
-          &ws_);
-    });
-
-    // --- EXTRACT: renumber sampled columns into the next frontier (the
-    // shared §4.1.3 extraction). ---
-    timed_rows(cluster, kPhaseExtraction, rows, [&](index_t i) {
-      auto& row_front = frontier[static_cast<std::size_t>(i)];
-      for (std::size_t b = 0; b < row_front.size(); ++b) {
-        LayerSample layer = sage_extract_layer(
-            qs[static_cast<std::size_t>(i)], stacks[static_cast<std::size_t>(i)], b,
-            row_front[b]);
-        row_front[b] = layer.col_vertices;
-        out[static_cast<std::size_t>(i)][b].layers.push_back(std::move(layer));
-      }
-    });
-  }
-  return out;
-}
+                             build_sage_plan(), "PartitionedSageSampler") {}
 
 PartitionedLadiesSampler::PartitionedLadiesSampler(const Graph& graph,
                                                    const ProcessGrid& grid,
                                                    SamplerConfig config,
                                                    PartitionedSamplerOptions opts)
     : PartitionedSamplerBase(graph, grid, std::move(config), opts,
-                             "PartitionedLadiesSampler") {}
+                             build_ladies_plan(), "PartitionedLadiesSampler") {}
 
-std::vector<std::vector<MinibatchSample>> PartitionedLadiesSampler::sample_rows(
-    Cluster& cluster, const BlockPartition& assign,
-    const std::vector<std::vector<index_t>>& batches,
-    const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed) const {
-  const index_t rows = grid_.rows();
-  const index_t n = graph_.num_vertices();
-  const index_t num_layers = config_.num_layers();
+PartitionedFastGcnSampler::PartitionedFastGcnSampler(
+    const Graph& graph, const ProcessGrid& grid, SamplerConfig config,
+    PartitionedSamplerOptions opts)
+    : PartitionedSamplerBase(graph, grid, std::move(config), opts,
+                             build_fastgcn_plan(),
+                             "PartitionedFastGcnSampler") {}
 
-  std::vector<std::vector<MinibatchSample>> out(static_cast<std::size_t>(rows));
-  // current[i][b]: the current vertex set of process row i's b-th minibatch.
-  std::vector<std::vector<std::vector<index_t>>> current(
-      static_cast<std::size_t>(rows));
-  for (index_t i = 0; i < rows; ++i) {
-    for (index_t g = assign.begin(i); g < assign.end(i); ++g) {
-      MinibatchSample ms;
-      ms.batch_vertices = batches[static_cast<std::size_t>(g)];
-      out[static_cast<std::size_t>(i)].push_back(std::move(ms));
-      current[static_cast<std::size_t>(i)].push_back(
-          batches[static_cast<std::size_t>(g)]);
-    }
-  }
-
-  for (index_t l = 0; l < num_layers; ++l) {
-    const index_t s = config_.fanouts[static_cast<std::size_t>(l)];
-
-    // --- Probability generation: indicator Q (one row per batch), 1.5D
-    // SpGEMM, then the LADIES NORM (p_v ∝ e_v²). ---
-    std::vector<CsrMatrix> q_blocks(static_cast<std::size_t>(rows));
-    timed_rows(cluster, kPhaseProbability, rows, [&](index_t i) {
-      q_blocks[static_cast<std::size_t>(i)] =
-          ladies_indicator_rows(n, current[static_cast<std::size_t>(i)]);
-    });
-    Spgemm15dOptions sopts;
-    sopts.sparsity_aware = opts_.sparsity_aware;
-    sopts.phase = kPhaseProbability;
-    sopts.local = opts_.local_spgemm;
-    sopts.local.workspace = &ws_;
-    auto p_blocks = spgemm_15d(cluster, q_blocks, dist_adj_, sopts);
-    timed_rows(cluster, kPhaseProbability, rows, [&](index_t i) {
-      ladies_norm(p_blocks[static_cast<std::size_t>(i)]);
-    });
-
-    // --- SAMPLE: s vertices per batch row. ---
-    std::vector<CsrMatrix> qs(static_cast<std::size_t>(rows));
-    timed_rows(cluster, kPhaseSampling, rows, [&](index_t i) {
-      qs[static_cast<std::size_t>(i)] = its_sample_rows(
-          p_blocks[static_cast<std::size_t>(i)], s,
-          [&](index_t row) {
-            const index_t g = assign.begin(i) + row;
-            return derive_seed(
-                epoch_seed,
-                static_cast<std::uint64_t>(batch_ids[static_cast<std::size_t>(g)]),
-                static_cast<std::uint64_t>(l), 0);
-          },
-          &ws_);
-    });
-
-    // --- EXTRACT: distributed row-extraction SpGEMM on the stacked Q_R,
-    // then per-batch chunked column extraction (§4.2.3, §8.2.2). ---
-    std::vector<CsrMatrix> qr_blocks(static_cast<std::size_t>(rows));
-    std::vector<FrontierStack> stacks(static_cast<std::size_t>(rows));
-    timed_rows(cluster, kPhaseExtraction, rows, [&](index_t i) {
-      stacks[static_cast<std::size_t>(i)] =
-          stack_frontiers(current[static_cast<std::size_t>(i)]);
-      qr_blocks[static_cast<std::size_t>(i)] = CsrMatrix::one_nonzero_per_row(
-          n, stacks[static_cast<std::size_t>(i)].vertices);
-    });
-    Spgemm15dOptions xopts;
-    xopts.sparsity_aware = opts_.sparsity_aware;
-    xopts.phase = kPhaseExtraction;
-    xopts.local = opts_.local_spgemm;
-    xopts.local.workspace = &ws_;
-    const auto ar_blocks = spgemm_15d(cluster, qr_blocks, dist_adj_, xopts);
-    timed_rows(cluster, kPhaseExtraction, rows, [&](index_t i) {
-      const auto& off = stacks[static_cast<std::size_t>(i)].offsets;
-      auto& row_cur = current[static_cast<std::size_t>(i)];
-      for (std::size_t b = 0; b < row_cur.size(); ++b) {
-        const auto cols =
-            qs[static_cast<std::size_t>(i)].row_cols(static_cast<index_t>(b));
-        const std::vector<index_t> sampled(cols.begin(), cols.end());
-        const CsrMatrix ar_b =
-            row_slice(ar_blocks[static_cast<std::size_t>(i)], off[b], off[b + 1]);
-        const CsrMatrix a_s = extract_sampled_columns(ar_b, sampled, &ws_);
-        LayerSample layer = ladies_assemble_layer(row_cur[b], sampled, a_s);
-        row_cur[b] = layer.col_vertices;
-        out[static_cast<std::size_t>(i)][b].layers.push_back(std::move(layer));
-      }
-    });
-  }
-  return out;
-}
+PartitionedLaborSampler::PartitionedLaborSampler(const Graph& graph,
+                                                 const ProcessGrid& grid,
+                                                 SamplerConfig config,
+                                                 PartitionedSamplerOptions opts)
+    : PartitionedSamplerBase(graph, grid, std::move(config), opts,
+                             build_labor_plan(), "PartitionedLaborSampler") {}
 
 }  // namespace dms

@@ -1,9 +1,12 @@
-// Graph Partitioned matrix-based samplers (§5.2): the adjacency is
-// block-row partitioned over a 1.5D process grid (it no longer needs to fit
-// on one device) and every sampling step of Algorithm 1 runs as a
-// distributed sparse primitive — probability generation and LADIES row
-// extraction through the 1.5D SpGEMM of Algorithm 2, sampling and layer
-// assembly row-locally.
+// Graph Partitioned plan samplers (§5.2): the adjacency is block-row
+// partitioned over a 1.5D process grid (it no longer needs to fit on one
+// device) and the sampler's *plan* (src/plan) runs through the partitioned
+// executor — every kSpgemm/kMaskedExtract op was rewritten by the
+// lower_to_dist pass to its 1.5D collective form (Algorithm 2's block-row
+// fetch/exchange + all-reduce), while row-local ops (NORM, ITS, thinning,
+// assembly) run per process row. There is no per-sampler distributed
+// sampling logic here: one lowering pass + one executor serve every
+// algorithm, which is why partitioned FastGCN and LABOR exist at all.
 //
 // Determinism contract: randomness is derived per (epoch, global batch id,
 // layer, local row), never from the rank layout, so a Graph Partitioned run
@@ -13,8 +16,9 @@
 // distributed reduction order cannot perturb them.) The dist tests sweep
 // grids to enforce this.
 //
-// Phase accounting matches Figure 7: kPhaseProbability / kPhaseSampling /
-// kPhaseExtraction compute and communication are recorded on the Cluster.
+// Phase accounting matches Figure 7: every plan op records its
+// kPhaseProbability / kPhaseSampling / kPhaseExtraction compute and the
+// collectives their communication on the Cluster.
 #pragma once
 
 #include <string>
@@ -23,12 +27,9 @@
 #include "comm/cluster.hpp"
 #include "core/sampler.hpp"
 #include "dist/spgemm_15d.hpp"
+#include "plan/executor.hpp"
 
 namespace dms {
-
-inline constexpr const char* kPhaseProbability = "probability";
-inline constexpr const char* kPhaseSampling = "sampling";
-inline constexpr const char* kPhaseExtraction = "extraction";
 
 /// A bulk sampling round: the contiguous range [step_begin, step_end) of
 /// per-rank training-step indices whose minibatches the round materializes.
@@ -62,11 +63,23 @@ struct PartitionedSamplerOptions {
   SpgemmOptions local_spgemm;
 };
 
-/// Common machinery of the Graph Partitioned samplers: batch-to-process-row
-/// assignment, the distributed adjacency, and the MatrixSampler conformance
-/// that lets the factory treat partitioned samplers uniformly.
+/// A Graph Partitioned sampler: any SamplePlan, dist-lowered at
+/// construction and executed by the partitioned PlanExecutor. Handles
+/// batch-to-process-row assignment, the distributed adjacency, and the
+/// MatrixSampler conformance that lets the factory treat partitioned
+/// samplers uniformly. Historically this was an abstract base with
+/// per-algorithm subclasses; the plan IR made it concrete.
 class PartitionedSamplerBase : public MatrixSampler {
  public:
+  /// The graph must outlive the sampler (topology is borrowed; the
+  /// distributed block rows are materialized once at construction).
+  /// `plan` is the *unlowered* single-node plan — the constructor runs the
+  /// dist lowering pass. Plans needing bound global weights (FastGCN) get
+  /// them computed by `make_global_weights` below.
+  PartitionedSamplerBase(const Graph& graph, const ProcessGrid& grid,
+                         SamplerConfig config, PartitionedSamplerOptions opts,
+                         SamplePlan plan, const std::string& name);
+
   /// Distributed bulk sampling. Minibatches are assigned to process rows in
   /// contiguous blocks (BlockPartition of the batch list); the return value
   /// holds each process row's samples, so concatenating the rows restores
@@ -85,9 +98,15 @@ class PartitionedSamplerBase : public MatrixSampler {
       const std::vector<index_t>& batch_ids,
       std::uint64_t epoch_seed) const override;
 
-  const SamplerConfig& config() const override { return config_; }
+  const SamplerConfig& config() const override { return exec_.config(); }
+  std::map<std::string, double> op_time_breakdown() const override {
+    return exec_.op_seconds();
+  }
   const ProcessGrid& grid() const { return grid_; }
   const PartitionedSamplerOptions& options() const { return opts_; }
+
+  /// The dist-lowered plan this sampler executes (tests / docs).
+  const SamplePlan& plan() const { return exec_.plan(); }
 
   /// The block-row distributed adjacency (per-rank memory accounting).
   const DistBlockRowMatrix& dist_adjacency() const { return dist_adj_; }
@@ -98,23 +117,13 @@ class PartitionedSamplerBase : public MatrixSampler {
   void bind_cluster(Cluster* cluster) { bound_cluster_ = cluster; }
 
  protected:
-  /// The graph must outlive the sampler (topology is borrowed; the
-  /// distributed block rows are materialized once at construction).
-  PartitionedSamplerBase(const Graph& graph, const ProcessGrid& grid,
-                         SamplerConfig config, PartitionedSamplerOptions opts,
-                         const std::string& name);
-
-  /// Algorithm body. `assign` maps global batch index -> owning process row.
-  virtual std::vector<std::vector<MinibatchSample>> sample_rows(
-      Cluster& cluster, const BlockPartition& assign,
-      const std::vector<std::vector<index_t>>& batches,
-      const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed) const = 0;
-
   const Graph& graph_;
   ProcessGrid grid_;
-  SamplerConfig config_;
   PartitionedSamplerOptions opts_;
   DistBlockRowMatrix dist_adj_;
+  PlanExecutor exec_;
+  /// Bound ITS weights for kGlobalWeights plans (empty otherwise).
+  std::vector<value_t> global_weights_;
   Cluster* bound_cluster_ = nullptr;
   /// Scratch arena shared by every kernel this sampler drives — the 1.5D
   /// SpGEMM's sequential local panel products, ITS, and the masked
@@ -123,34 +132,41 @@ class PartitionedSamplerBase : public MatrixSampler {
   mutable Workspace ws_;
 };
 
-/// Graph Partitioned GraphSAGE (§5.2 with the §4.1 constructions).
+/// Graph Partitioned GraphSAGE (§5.2): the dist-lowered build_sage_plan.
 class PartitionedSageSampler : public PartitionedSamplerBase {
  public:
   PartitionedSageSampler(const Graph& graph, const ProcessGrid& grid,
                          SamplerConfig config, PartitionedSamplerOptions opts = {});
-
- protected:
-  std::vector<std::vector<MinibatchSample>> sample_rows(
-      Cluster& cluster, const BlockPartition& assign,
-      const std::vector<std::vector<index_t>>& batches,
-      const std::vector<index_t>& batch_ids,
-      std::uint64_t epoch_seed) const override;
 };
 
-/// Graph Partitioned LADIES (§5.2 with the §4.2 constructions) — per the
-/// paper, the first fully distributed LADIES implementation.
+/// Graph Partitioned LADIES (§5.2) — per the paper, the first fully
+/// distributed LADIES implementation: the dist-lowered build_ladies_plan.
 class PartitionedLadiesSampler : public PartitionedSamplerBase {
  public:
   PartitionedLadiesSampler(const Graph& graph, const ProcessGrid& grid,
                            SamplerConfig config,
                            PartitionedSamplerOptions opts = {});
+};
 
- protected:
-  std::vector<std::vector<MinibatchSample>> sample_rows(
-      Cluster& cluster, const BlockPartition& assign,
-      const std::vector<std::vector<index_t>>& batches,
-      const std::vector<index_t>& batch_ids,
-      std::uint64_t epoch_seed) const override;
+/// Graph Partitioned FastGCN: the dist-lowered build_fastgcn_plan. Its
+/// plan has no probability SpGEMM (the global importance is precomputed);
+/// sampling is row-local and only the masked extraction lowers to the
+/// 1.5D collective — a combination the hand-written dist samplers never
+/// supported.
+class PartitionedFastGcnSampler : public PartitionedSamplerBase {
+ public:
+  PartitionedFastGcnSampler(const Graph& graph, const ProcessGrid& grid,
+                            SamplerConfig config,
+                            PartitionedSamplerOptions opts = {});
+};
+
+/// Graph Partitioned LABOR: the dist-lowered build_labor_plan — a sampler
+/// that ran in every execution mode on the day it was defined.
+class PartitionedLaborSampler : public PartitionedSamplerBase {
+ public:
+  PartitionedLaborSampler(const Graph& graph, const ProcessGrid& grid,
+                          SamplerConfig config,
+                          PartitionedSamplerOptions opts = {});
 };
 
 }  // namespace dms

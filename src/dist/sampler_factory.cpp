@@ -2,6 +2,7 @@
 
 #include "core/fastgcn.hpp"
 #include "core/graphsage.hpp"
+#include "core/labor.hpp"
 #include "core/ladies.hpp"
 
 namespace dms {
@@ -14,6 +15,8 @@ std::string to_string(SamplerKind kind) {
       return "ladies";
     case SamplerKind::kFastGcn:
       return "fastgcn";
+    case SamplerKind::kLabor:
+      return "labor";
   }
   return "unknown";
 }
@@ -71,8 +74,24 @@ SamplerRegistry::SamplerRegistry() {
                      return make_partitioned<PartitionedLadiesSampler>(
                          g, ctx, "partitioned ladies");
                    });
-  // Partitioned FastGCN is deliberately unregistered: its batch-independent
-  // distribution needs a different distributed formulation (ROADMAP item).
+  register_creator(SamplerKind::kLabor, DistMode::kReplicated,
+                   [](const Graph& g, const SamplerContext& ctx) {
+                     return std::make_unique<LaborSampler>(g, ctx.config);
+                   });
+  // The plan IR closed the historical gaps: partitioned FastGCN (its
+  // batch-independent sampling is row-local; only its masked extraction
+  // lowers to the 1.5D collective, which the lowering pass provides) and
+  // LABOR in both modes from day one.
+  register_creator(SamplerKind::kFastGcn, DistMode::kPartitioned,
+                   [](const Graph& g, const SamplerContext& ctx) {
+                     return make_partitioned<PartitionedFastGcnSampler>(
+                         g, ctx, "partitioned fastgcn");
+                   });
+  register_creator(SamplerKind::kLabor, DistMode::kPartitioned,
+                   [](const Graph& g, const SamplerContext& ctx) {
+                     return make_partitioned<PartitionedLaborSampler>(
+                         g, ctx, "partitioned labor");
+                   });
 }
 
 SamplerRegistry& SamplerRegistry::instance() {

@@ -26,7 +26,7 @@
 
 namespace dms {
 
-enum class SamplerKind { kGraphSage, kLadies, kFastGcn };
+enum class SamplerKind { kGraphSage, kLadies, kFastGcn, kLabor };
 enum class DistMode { kReplicated, kPartitioned };
 
 std::string to_string(SamplerKind kind);
@@ -47,7 +47,8 @@ using SamplerCreator = std::function<std::unique_ptr<MatrixSampler>(
     const Graph& graph, const SamplerContext& ctx)>;
 
 /// Registry mapping (kind, mode) → creator, seeded with the built-in
-/// samplers (SAGE/LADIES in both modes, FastGCN replicated).
+/// samplers — every SamplerKind in both modes, since the plan IR gives
+/// each algorithm its partitioned form through one lowering pass.
 class SamplerRegistry {
  public:
   static SamplerRegistry& instance();

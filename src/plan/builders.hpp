@@ -1,0 +1,36 @@
+// The built-in sampler plans (DESIGN.md §9): each sampling algorithm is a
+// ~20-line plan definition over the shared op vocabulary. The same plan
+// serves every execution mode — the replicated executor runs it directly,
+// the partitioned samplers run lower_to_dist(plan).
+#pragma once
+
+#include "common/types.hpp"
+#include "plan/plan.hpp"
+
+namespace dms {
+
+/// GraphSAGE (§4.1): stack → Q·A → NORM → ITS(s per vertex) → extract.
+SamplePlan build_sage_plan();
+
+/// LADIES (§4.2): indicator Q → Q·A → NORM(e²) → ITS(s per batch) →
+/// masked extraction (Q_R·A)[:, S] → union assembly.
+SamplePlan build_ladies_plan();
+
+/// FastGCN (Chen et al. 2018): batch-independent global-importance ITS →
+/// masked extraction → union assembly. Needs bound global weights (the
+/// squared-in-degree prefix, fastgcn_importance_prefix).
+SamplePlan build_fastgcn_plan();
+
+/// LABOR (Balin & Çatalyürek 2023, layer-neighbor sampling): stack → Q·A →
+/// NORM → per-vertex Poisson thinning with batch-shared randoms → extract.
+/// The fanout s is the expected per-vertex sample count; the correlated
+/// thinning minimizes the union frontier relative to GraphSAGE at equal s.
+SamplePlan build_labor_plan();
+
+/// GraphSAINT-RW (Zeng et al. 2020): walk_length rounds of
+/// stack → Q·A → NORM → ITS(1) → walk advance, then an induced-subgraph
+/// epilogue emitting model_layers identical layers. Not dist-lowerable
+/// (kInducedLayers); single-node execution only.
+SamplePlan build_saint_plan(index_t walk_length, index_t model_layers);
+
+}  // namespace dms

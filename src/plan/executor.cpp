@@ -1,0 +1,680 @@
+#include "plan/executor.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/frontier.hpp"
+#include "core/graphsage.hpp"  // sage_extract_layer (shared EXTRACT, §4.1.3)
+#include "core/its.hpp"
+#include "core/ladies.hpp"  // ladies_indicator_rows / ladies_norm / assemble
+#include "sparse/ops.hpp"
+#include "sparse/spgemm_engine.hpp"
+
+namespace dms {
+
+namespace {
+
+/// Concrete value bound to a symbolic slot during one run.
+struct PlanValue {
+  enum class Kind { kUnset, kMatrix, kLists, kMatrixList, kStack };
+  Kind kind = Kind::kUnset;
+  CsrMatrix m;
+  std::vector<std::vector<index_t>> lists;  ///< frontiers or sampled sets
+  std::vector<CsrMatrix> mats;              ///< per-batch extraction results
+  FrontierStack stack;
+};
+
+/// Per-process-row execution state (replicated mode is the 1-row case).
+struct RowState {
+  std::vector<PlanValue> slots;
+  std::vector<MinibatchSample> out;
+  index_t first_batch = 0;  ///< global index of this row's first batch
+  bool stopped = false;     ///< stop_on_empty_frontier tripped (walk plans)
+};
+
+struct RunCtx {
+  RunCtx(const SamplePlan& p, const SamplerConfig& c) : plan(p), config(c) {}
+  const SamplePlan& plan;
+  const SamplerConfig& config;
+  index_t n = 0;                             ///< vertex count / column space
+  const CsrMatrix* adj = nullptr;            ///< replicated adjacency
+  const DistBlockRowMatrix* dadj = nullptr;  ///< partitioned adjacency
+  Cluster* cluster = nullptr;                ///< partitioned accounting
+  const std::vector<index_t>* batch_ids = nullptr;
+  std::uint64_t epoch_seed = 0;
+  Workspace* ws = nullptr;
+  const std::vector<value_t>* weights = nullptr;  ///< kGlobalWeights prefix
+  SpgemmOptions local;  ///< per-panel engine options (partitioned)
+  bool sparsity_aware = true;
+  std::vector<RowState> rows;
+};
+
+std::string op_where(const RunCtx& ctx, const PlanOp& op) {
+  return "plan '" + ctx.plan.name + "' op '" + op.label + "'";
+}
+
+PlanValue& slot_ref(RunCtx& ctx, RowState& r, SlotId s, const PlanOp& op) {
+  check(s != kNoSlot, op_where(ctx, op) + ": missing operand slot");
+  return r.slots[static_cast<std::size_t>(s)];
+}
+
+CsrMatrix& as_matrix(RunCtx& ctx, RowState& r, SlotId s, const PlanOp& op) {
+  PlanValue& v = slot_ref(ctx, r, s, op);
+  check(v.kind == PlanValue::Kind::kMatrix,
+        op_where(ctx, op) + ": type mismatch, slot " + std::to_string(s) +
+            " does not hold a matrix");
+  return v.m;
+}
+
+std::vector<std::vector<index_t>>& as_lists(RunCtx& ctx, RowState& r, SlotId s,
+                                            const PlanOp& op) {
+  PlanValue& v = slot_ref(ctx, r, s, op);
+  check(v.kind == PlanValue::Kind::kLists,
+        op_where(ctx, op) + ": type mismatch, slot " + std::to_string(s) +
+            " does not hold per-batch vertex lists");
+  return v.lists;
+}
+
+FrontierStack& as_stack(RunCtx& ctx, RowState& r, SlotId s, const PlanOp& op) {
+  PlanValue& v = slot_ref(ctx, r, s, op);
+  check(v.kind == PlanValue::Kind::kStack,
+        op_where(ctx, op) + ": type mismatch, slot " + std::to_string(s) +
+            " does not hold a frontier stack");
+  return v.stack;
+}
+
+std::vector<CsrMatrix>& as_matrix_list(RunCtx& ctx, RowState& r, SlotId s,
+                                       const PlanOp& op) {
+  PlanValue& v = slot_ref(ctx, r, s, op);
+  check(v.kind == PlanValue::Kind::kMatrixList,
+        op_where(ctx, op) + ": type mismatch, slot " + std::to_string(s) +
+            " does not hold a per-batch matrix list");
+  return v.mats;
+}
+
+/// Runs body(row, i) for every non-stopped process row, recording the
+/// max-over-rows wall-clock on the cluster under op.phase (partitioned
+/// mode; replicas of a row do identical seeded work, so per-row time equals
+/// per-rank time — the timed_rows convention of the pre-IR dist samplers).
+template <typename Fn>
+void rows_op(RunCtx& ctx, const PlanOp& op, Fn&& body) {
+  double max_t = 0.0;
+  for (std::size_t i = 0; i < ctx.rows.size(); ++i) {
+    if (ctx.rows[i].stopped) continue;
+    Timer t;
+    body(ctx.rows[i], i);
+    max_t = std::max(max_t, t.seconds());
+  }
+  if (ctx.cluster != nullptr) ctx.cluster->add_compute(op.phase, max_t);
+}
+
+/// The op's per-round sample count: its override or fanouts[round].
+index_t round_s(const RunCtx& ctx, const PlanOp& op, index_t round) {
+  if (op.fixed_s >= 0) return op.fixed_s;
+  check(round < ctx.config.num_layers(),
+        op_where(ctx, op) + ": round " + std::to_string(round) +
+            " has no fanout (plan rounds exceed fanouts)");
+  return ctx.config.fanouts[static_cast<std::size_t>(round)];
+}
+
+/// Uniform in [0, 1) from a derived seed (LABOR's shared per-vertex r_u).
+double seed_uniform(std::uint64_t seed) {
+  return static_cast<double>(seed >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// Per-row ITS seed function (the shared determinism contract): seed =
+/// derive_seed(epoch, global batch id, round + salt, row term). With a
+/// stack, rows map back to (batch, local row) via the offsets — delegated
+/// to sage_row_seed_fn, the single implementation of that derivation;
+/// without one, row index == batch index.
+RowSeedFn make_row_seed(const FrontierStack* stack,
+                        const std::vector<index_t>& batch_ids, index_t first,
+                        std::uint64_t epoch_seed, std::uint64_t round_term,
+                        SeedRowTerm term) {
+  const std::uint64_t fixed = term == SeedRowTerm::kOne ? 1u : 0u;
+  if (stack == nullptr) {
+    return [&batch_ids, first, epoch_seed, round_term, fixed](index_t row) {
+      const auto id = static_cast<std::uint64_t>(
+          batch_ids[static_cast<std::size_t>(first + row)]);
+      return derive_seed(epoch_seed, id, round_term, fixed);
+    };
+  }
+  if (term == SeedRowTerm::kLocalRow) {
+    return sage_row_seed_fn(*stack, batch_ids, first,
+                            static_cast<index_t>(round_term), epoch_seed);
+  }
+  // Stacked rows with a fixed row term: all rows of one batch share a seed.
+  std::vector<std::uint64_t> row_seed(stack->vertices.size());
+  for (std::size_t b = 0; b + 1 < stack->offsets.size(); ++b) {
+    const auto id = static_cast<std::uint64_t>(
+        batch_ids[static_cast<std::size_t>(first) + b]);
+    for (index_t r = stack->offsets[b]; r < stack->offsets[b + 1]; ++r) {
+      row_seed[static_cast<std::size_t>(r)] =
+          derive_seed(epoch_seed, id, round_term, fixed);
+    }
+  }
+  return [row_seed = std::move(row_seed)](index_t row) {
+    return row_seed[static_cast<std::size_t>(row)];
+  };
+}
+
+void exec_build_q(RunCtx& ctx, const PlanOp& op) {
+  rows_op(ctx, op, [&](RowState& r, std::size_t) {
+    const auto& fr = as_lists(ctx, r, op.in, op);
+    PlanValue& out = slot_ref(ctx, r, op.out, op);
+    if (op.qmode == QMode::kOnePerVertex) {
+      PlanValue& stk = slot_ref(ctx, r, op.out2, op);
+      stk.kind = PlanValue::Kind::kStack;
+      stk.stack = stack_frontiers(fr);
+      if (ctx.plan.stop_on_empty_frontier && stk.stack.vertices.empty()) {
+        r.stopped = true;  // every walk terminated — skip the rest
+        return;
+      }
+      out.kind = PlanValue::Kind::kMatrix;
+      out.m = CsrMatrix::one_nonzero_per_row(ctx.n, stk.stack.vertices);
+    } else {
+      out.kind = PlanValue::Kind::kMatrix;
+      out.m = ladies_indicator_rows(ctx.n, fr);
+    }
+  });
+}
+
+void exec_spgemm(RunCtx& ctx, const PlanOp& op) {
+  check(ctx.adj != nullptr,
+        op_where(ctx, op) + ": kSpgemm needs a replicated adjacency "
+                            "(partitioned runs require a lowered plan)");
+  rows_op(ctx, op, [&](RowState& r, std::size_t) {
+    const CsrMatrix& q = as_matrix(ctx, r, op.in, op);
+    check(q.cols() == ctx.adj->rows(),
+          op_where(ctx, op) + ": shape mismatch, Q cols " +
+              std::to_string(q.cols()) + " vs adjacency rows " +
+              std::to_string(ctx.adj->rows()));
+    SpgemmOptions sopts;
+    sopts.workspace = ctx.ws;
+    PlanValue& out = slot_ref(ctx, r, op.out, op);
+    out.kind = PlanValue::Kind::kMatrix;
+    out.m = spgemm(q, *ctx.adj, sopts);
+  });
+}
+
+/// True iff `op` is the only op in the plan reading slot `op.in` — then its
+/// executor may move the value out instead of copying (the slot's producer
+/// precedes any reader in program order, so the next round re-fills it
+/// before it is read again).
+bool sole_reader_of_input(const SamplePlan& plan, const PlanOp& op) {
+  int readers = 0;
+  for (const auto* ops : {&plan.body, &plan.epilogue}) {
+    for (const PlanOp& other : *ops) {
+      readers += (other.in == op.in) + (other.in2 == op.in);
+    }
+  }
+  return readers == 1;
+}
+
+void exec_spgemm_15d(RunCtx& ctx, const PlanOp& op) {
+  check(ctx.cluster != nullptr && ctx.dadj != nullptr,
+        op_where(ctx, op) + ": kSpgemm15d requires partitioned execution");
+  const auto rows = ctx.rows.size();
+  const bool can_move = sole_reader_of_input(ctx.plan, op);
+  std::vector<CsrMatrix> blocks(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    // Move when this op is the slot's only reader (the common case —
+    // avoids an O(nnz) copy per process row per round on the hot path).
+    CsrMatrix& q = as_matrix(ctx, ctx.rows[i], op.in, op);
+    if (can_move) {
+      blocks[i] = std::move(q);
+    } else {
+      blocks[i] = q;
+    }
+  }
+  Spgemm15dOptions sopts;
+  sopts.sparsity_aware = ctx.sparsity_aware;
+  sopts.phase = op.phase;
+  sopts.local = ctx.local;
+  sopts.local.workspace = ctx.ws;
+  auto products = spgemm_15d(*ctx.cluster, blocks, *ctx.dadj, sopts);
+  for (std::size_t i = 0; i < rows; ++i) {
+    PlanValue& out = slot_ref(ctx, ctx.rows[i], op.out, op);
+    out.kind = PlanValue::Kind::kMatrix;
+    out.m = std::move(products[i]);
+  }
+}
+
+void exec_normalize(RunCtx& ctx, const PlanOp& op) {
+  rows_op(ctx, op, [&](RowState& r, std::size_t) {
+    CsrMatrix& m = as_matrix(ctx, r, op.in, op);
+    if (op.norm == NormMode::kRow) {
+      normalize_rows(m);
+    } else {
+      ladies_norm(m);
+    }
+  });
+}
+
+void exec_its_sample(RunCtx& ctx, const PlanOp& op, index_t round) {
+  const index_t s = round_s(ctx, op, round);
+  const std::uint64_t round_term =
+      static_cast<std::uint64_t>(round) + op.seed.layer_salt;
+  if (op.source == SampleSource::kMatrixRows) {
+    rows_op(ctx, op, [&](RowState& r, std::size_t) {
+      const CsrMatrix& p = as_matrix(ctx, r, op.in, op);
+      const FrontierStack* stack =
+          op.in2 == kNoSlot ? nullptr : &as_stack(ctx, r, op.in2, op);
+      const RowSeedFn fn =
+          make_row_seed(stack, *ctx.batch_ids, r.first_batch, ctx.epoch_seed,
+                        round_term, op.seed.row);
+      PlanValue& out = slot_ref(ctx, r, op.out, op);
+      out.kind = PlanValue::Kind::kMatrix;
+      out.m = its_sample_rows(p, s, fn, ctx.ws);
+    });
+    return;
+  }
+  // kGlobalWeights: per-batch ITS over the bound prefix-sum distribution
+  // (FastGCN §2.2.2); the chosen-flags scratch lives in the workspace so
+  // the loop is allocation-free.
+  check(ctx.weights != nullptr,
+        op_where(ctx, op) + ": plan needs global weights but none were bound");
+  rows_op(ctx, op, [&](RowState& r, std::size_t) {
+    ctx.ws->ensure_slots(1);
+    PlanValue& out = slot_ref(ctx, r, op.out, op);
+    out.kind = PlanValue::Kind::kLists;
+    out.lists.assign(r.out.size(), {});
+    const std::uint64_t fixed = op.seed.row == SeedRowTerm::kOne ? 1u : 0u;
+    for (std::size_t b = 0; b < r.out.size(); ++b) {
+      const auto id = static_cast<std::uint64_t>(
+          (*ctx.batch_ids)[static_cast<std::size_t>(r.first_batch) + b]);
+      its_sample_one(*ctx.weights, s,
+                     derive_seed(ctx.epoch_seed, id, round_term, fixed),
+                     &out.lists[b], ctx.ws->slot(0).flags);
+    }
+  });
+}
+
+void exec_poisson_thin(RunCtx& ctx, const PlanOp& op, index_t round) {
+  const index_t s = round_s(ctx, op, round);
+  const std::uint64_t round_term =
+      static_cast<std::uint64_t>(round) + op.seed.layer_salt;
+  rows_op(ctx, op, [&](RowState& r, std::size_t) {
+    const CsrMatrix& p = as_matrix(ctx, r, op.in, op);
+    const FrontierStack& stack = as_stack(ctx, r, op.in2, op);
+    // Keep entry (row, u) iff r_u < s·P(row, u), with r_u shared by every
+    // row of one batch (LABOR's correlated inclusion: a vertex admitted by
+    // one row is likely admitted by all, shrinking the union frontier).
+    std::vector<nnz_t> rowptr(static_cast<std::size_t>(p.rows()) + 1, 0);
+    std::vector<index_t> cols;
+    for (std::size_t b = 0; b + 1 < stack.offsets.size(); ++b) {
+      const auto id = static_cast<std::uint64_t>(
+          (*ctx.batch_ids)[static_cast<std::size_t>(r.first_batch) + b]);
+      for (index_t row = stack.offsets[b]; row < stack.offsets[b + 1]; ++row) {
+        const auto rcols = p.row_cols(row);
+        const auto rvals = p.row_vals(row);
+        for (std::size_t k = 0; k < rcols.size(); ++k) {
+          const index_t u = rcols[k];
+          const double ru = seed_uniform(derive_seed(
+              ctx.epoch_seed, id, round_term, static_cast<std::uint64_t>(u)));
+          if (ru < static_cast<double>(s) * rvals[k]) cols.push_back(u);
+        }
+        rowptr[static_cast<std::size_t>(row) + 1] =
+            static_cast<nnz_t>(cols.size());
+      }
+    }
+    PlanValue& out = slot_ref(ctx, r, op.out, op);
+    out.kind = PlanValue::Kind::kMatrix;
+    std::vector<value_t> vals(cols.size(), 1.0);
+    out.m = CsrMatrix(p.rows(), p.cols(), std::move(rowptr), std::move(cols),
+                      std::move(vals));
+  });
+}
+
+void exec_slice(RunCtx& ctx, const PlanOp& op) {
+  rows_op(ctx, op, [&](RowState& r, std::size_t) {
+    const CsrMatrix& m = as_matrix(ctx, r, op.in, op);
+    check(static_cast<std::size_t>(m.rows()) == r.out.size(),
+          op_where(ctx, op) + ": shape mismatch, matrix rows " +
+              std::to_string(m.rows()) + " vs " + std::to_string(r.out.size()) +
+              " batches");
+    PlanValue& out = slot_ref(ctx, r, op.out, op);
+    out.kind = PlanValue::Kind::kLists;
+    out.lists.assign(r.out.size(), {});
+    for (std::size_t b = 0; b < r.out.size(); ++b) {
+      const auto cols = m.row_cols(static_cast<index_t>(b));
+      out.lists[b].assign(cols.begin(), cols.end());
+    }
+  });
+}
+
+void exec_masked_extract(RunCtx& ctx, const PlanOp& op) {
+  check(ctx.adj != nullptr,
+        op_where(ctx, op) + ": kMaskedExtract needs a replicated adjacency "
+                            "(partitioned runs require a lowered plan)");
+  rows_op(ctx, op, [&](RowState& r, std::size_t) {
+    const auto& frontier = as_lists(ctx, r, ctx.plan.frontier_slot, op);
+    const auto& sets = as_lists(ctx, r, op.in, op);
+    PlanValue& out = slot_ref(ctx, r, op.out, op);
+    out.kind = PlanValue::Kind::kMatrixList;
+    out.mats.assign(r.out.size(), CsrMatrix());
+    for (std::size_t b = 0; b < r.out.size(); ++b) {
+      // Fused A_S = (Q_R·A)[:, S]: the engine's masked kernel computes only
+      // the sampled columns; sampled ids come from a CSR row / ascending
+      // ITS output, satisfying the sorted-and-distinct mask contract.
+      const CsrMatrix qr = CsrMatrix::one_nonzero_per_row(ctx.n, frontier[b]);
+      SpgemmOptions mopts;
+      mopts.column_mask = &sets[b];
+      mopts.workspace = ctx.ws;
+      out.mats[b] = spgemm(qr, *ctx.adj, mopts);
+    }
+  });
+}
+
+void exec_masked_extract_15d(RunCtx& ctx, const PlanOp& op) {
+  check(ctx.cluster != nullptr && ctx.dadj != nullptr,
+        op_where(ctx, op) + ": kMaskedExtract15d requires partitioned execution");
+  const auto rows = ctx.rows.size();
+  // Stage 1 (row-local, timed): stack each row's frontiers into Q_R.
+  std::vector<FrontierStack> stacks(rows);
+  std::vector<CsrMatrix> qr_blocks(rows);
+  rows_op(ctx, op, [&](RowState& r, std::size_t i) {
+    stacks[i] = stack_frontiers(as_lists(ctx, r, ctx.plan.frontier_slot, op));
+    qr_blocks[i] = CsrMatrix::one_nonzero_per_row(ctx.n, stacks[i].vertices);
+  });
+  // Stage 2 (collective): the distributed row-extraction SpGEMM.
+  Spgemm15dOptions xopts;
+  xopts.sparsity_aware = ctx.sparsity_aware;
+  xopts.phase = op.phase;
+  xopts.local = ctx.local;
+  xopts.local.workspace = ctx.ws;
+  const auto ar_blocks = spgemm_15d(*ctx.cluster, qr_blocks, *ctx.dadj, xopts);
+  // Stage 3 (row-local, timed): per-batch slice + masked column extraction.
+  rows_op(ctx, op, [&](RowState& r, std::size_t i) {
+    const auto& off = stacks[i].offsets;
+    const auto& sets = as_lists(ctx, r, op.in, op);
+    PlanValue& out = slot_ref(ctx, r, op.out, op);
+    out.kind = PlanValue::Kind::kMatrixList;
+    out.mats.assign(r.out.size(), CsrMatrix());
+    for (std::size_t b = 0; b < r.out.size(); ++b) {
+      const CsrMatrix ar_b = row_slice(ar_blocks[i], off[b], off[b + 1]);
+      SpgemmOptions mopts;
+      mopts.workspace = ctx.ws;
+      out.mats[b] = spgemm_masked(ar_b, sets[b], mopts);
+    }
+  });
+}
+
+void exec_frontier_union(RunCtx& ctx, const PlanOp& op) {
+  rows_op(ctx, op, [&](RowState& r, std::size_t) {
+    auto& frontier = as_lists(ctx, r, ctx.plan.frontier_slot, op);
+    if (op.assemble == AssembleMode::kNeighborRows) {
+      const CsrMatrix& qs = as_matrix(ctx, r, op.in, op);
+      const FrontierStack& stack = as_stack(ctx, r, op.in2, op);
+      for (std::size_t b = 0; b < r.out.size(); ++b) {
+        LayerSample layer = sage_extract_layer(qs, stack, b, frontier[b]);
+        frontier[b] = layer.col_vertices;
+        r.out[b].layers.push_back(std::move(layer));
+      }
+    } else {
+      const auto& mats = as_matrix_list(ctx, r, op.in, op);
+      const auto& sets = as_lists(ctx, r, op.in2, op);
+      for (std::size_t b = 0; b < r.out.size(); ++b) {
+        LayerSample layer =
+            ladies_assemble_layer(frontier[b], sets[b], mats[b]);
+        frontier[b] = layer.col_vertices;
+        r.out[b].layers.push_back(std::move(layer));
+      }
+    }
+  });
+}
+
+void exec_walk_advance(RunCtx& ctx, const PlanOp& op) {
+  rows_op(ctx, op, [&](RowState& r, std::size_t) {
+    const CsrMatrix& qs = as_matrix(ctx, r, op.in, op);
+    const FrontierStack& stack = as_stack(ctx, r, op.in2, op);
+    auto& walker = as_lists(ctx, r, ctx.plan.frontier_slot, op);
+    auto& visited = as_lists(ctx, r, ctx.plan.visited_slot, op);
+    for (std::size_t b = 0; b + 1 < stack.offsets.size(); ++b) {
+      std::vector<index_t> next;
+      for (index_t row = stack.offsets[b]; row < stack.offsets[b + 1]; ++row) {
+        const auto cols = qs.row_cols(row);
+        if (!cols.empty()) {
+          next.push_back(cols[0]);
+          visited[b].push_back(cols[0]);
+        }
+        // Empty row: the walk hit a sink vertex and terminates.
+      }
+      walker[b] = std::move(next);
+    }
+  });
+}
+
+void exec_induced_layers(RunCtx& ctx, const PlanOp& op) {
+  check(ctx.adj != nullptr,
+        op_where(ctx, op) + ": kInducedLayers has no distributed lowering");
+  rows_op(ctx, op, [&](RowState& r, std::size_t) {
+    auto& visited = as_lists(ctx, r, ctx.plan.visited_slot, op);
+    for (std::size_t b = 0; b < r.out.size(); ++b) {
+      auto& vs = visited[b];
+      std::sort(vs.begin(), vs.end());
+      vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
+      // Induced subgraph A[V_s, V_s]: row extraction + the engine's masked
+      // column extraction (values pass through — bit-identical to slicing).
+      const CsrMatrix rows_m = extract_rows(*ctx.adj, vs);
+      SpgemmOptions mopts;
+      mopts.workspace = ctx.ws;
+      const CsrMatrix induced = spgemm_masked(rows_m, vs, mopts);
+      LayerSample layer;
+      layer.adj = induced;
+      layer.row_vertices = vs;
+      layer.col_vertices = vs;
+      r.out[b].batch_vertices = vs;  // train on every subgraph vertex
+      r.out[b].layers.clear();
+      for (index_t l = 0; l < op.copies; ++l) r.out[b].layers.push_back(layer);
+    }
+  });
+}
+
+/// Peephole fusion (replicated path): a kMaskedExtract immediately consumed
+/// by a kFrontierUnion/kSampledSets runs per batch as extract→assemble
+/// without materializing the per-batch matrix list — the allocation/live-set
+/// profile of the hand-written samplers the IR replaced (micro_plan gates
+/// the executor overhead this keeps near zero). Results are identical to
+/// the unfused ops; only op-stat attribution is computed from the two
+/// accumulated timers.
+bool fusable_masked_union(const RunCtx& ctx, const PlanOp& op, const PlanOp& next) {
+  return ctx.cluster == nullptr && op.kind == PlanOpKind::kMaskedExtract &&
+         next.kind == PlanOpKind::kFrontierUnion &&
+         next.assemble == AssembleMode::kSampledSets && next.in == op.out &&
+         next.in2 == op.in;
+}
+
+void exec_masked_union_fused(RunCtx& ctx, const PlanOp& mask_op,
+                             double* mask_seconds, double* union_seconds) {
+  check(ctx.adj != nullptr,
+        op_where(ctx, mask_op) + ": kMaskedExtract needs a replicated adjacency");
+  for (RowState& r : ctx.rows) {
+    if (r.stopped) continue;
+    auto& frontier = as_lists(ctx, r, ctx.plan.frontier_slot, mask_op);
+    const auto& sets = as_lists(ctx, r, mask_op.in, mask_op);
+    // The out slot stays bound (empty) so downstream reads still type-check.
+    PlanValue& out = slot_ref(ctx, r, mask_op.out, mask_op);
+    out.kind = PlanValue::Kind::kMatrixList;
+    out.mats.clear();
+    for (std::size_t b = 0; b < r.out.size(); ++b) {
+      Timer tm;
+      const CsrMatrix qr = CsrMatrix::one_nonzero_per_row(ctx.n, frontier[b]);
+      SpgemmOptions mopts;
+      mopts.column_mask = &sets[b];
+      mopts.workspace = ctx.ws;
+      const CsrMatrix a_s = spgemm(qr, *ctx.adj, mopts);
+      *mask_seconds += tm.seconds();
+      Timer tu;
+      LayerSample layer = ladies_assemble_layer(frontier[b], sets[b], a_s);
+      frontier[b] = layer.col_vertices;
+      r.out[b].layers.push_back(std::move(layer));
+      *union_seconds += tu.seconds();
+    }
+  }
+}
+
+void exec_op(RunCtx& ctx, const PlanOp& op, index_t round) {
+  switch (op.kind) {
+    case PlanOpKind::kBuildQ: return exec_build_q(ctx, op);
+    case PlanOpKind::kSpgemm: return exec_spgemm(ctx, op);
+    case PlanOpKind::kSpgemm15d: return exec_spgemm_15d(ctx, op);
+    case PlanOpKind::kNormalize: return exec_normalize(ctx, op);
+    case PlanOpKind::kItsSample: return exec_its_sample(ctx, op, round);
+    case PlanOpKind::kPoissonThin: return exec_poisson_thin(ctx, op, round);
+    case PlanOpKind::kSlice: return exec_slice(ctx, op);
+    case PlanOpKind::kMaskedExtract: return exec_masked_extract(ctx, op);
+    case PlanOpKind::kMaskedExtract15d: return exec_masked_extract_15d(ctx, op);
+    case PlanOpKind::kFrontierUnion: return exec_frontier_union(ctx, op);
+    case PlanOpKind::kWalkAdvance: return exec_walk_advance(ctx, op);
+    case PlanOpKind::kInducedLayers: return exec_induced_layers(ctx, op);
+  }
+  throw DmsError(op_where(ctx, op) + ": unknown op kind");
+}
+
+}  // namespace
+
+PlanExecutor::PlanExecutor(SamplePlan plan, SamplerConfig config)
+    : plan_(std::move(plan)), config_(std::move(config)) {
+  validate_plan(plan_);
+}
+
+std::map<std::string, double> PlanExecutor::op_seconds() const {
+  std::map<std::string, double> out;
+  for (const auto& [label, s] : stats_) out[label] = s.seconds;
+  return out;
+}
+
+namespace {
+
+void init_row(RunCtx& ctx, RowState& r, index_t first,
+              const std::vector<std::vector<index_t>>& batches, index_t count) {
+  r.slots.assign(static_cast<std::size_t>(ctx.plan.num_slots), PlanValue{});
+  r.first_batch = first;
+  r.out.resize(static_cast<std::size_t>(count));
+  PlanValue& fr = r.slots[static_cast<std::size_t>(ctx.plan.frontier_slot)];
+  fr.kind = PlanValue::Kind::kLists;
+  fr.lists.resize(static_cast<std::size_t>(count));
+  for (index_t b = 0; b < count; ++b) {
+    const auto& batch = batches[static_cast<std::size_t>(first + b)];
+    for (const index_t v : batch) {
+      check(v >= 0 && v < ctx.n,
+            "PlanExecutor: batch vertex " + std::to_string(v) +
+                " out of range [0, " + std::to_string(ctx.n) + ")");
+    }
+    r.out[static_cast<std::size_t>(b)].batch_vertices = batch;
+    fr.lists[static_cast<std::size_t>(b)] = batch;
+  }
+  if (ctx.plan.visited_slot != kNoSlot) {
+    PlanValue& vis = r.slots[static_cast<std::size_t>(ctx.plan.visited_slot)];
+    vis.kind = PlanValue::Kind::kLists;
+    vis.lists = fr.lists;  // walks start visited = roots
+  }
+}
+
+void run_rounds(RunCtx& ctx, std::map<std::string, PlanOpStats>& stats) {
+  const index_t rounds = ctx.plan.rounds_from_fanouts
+                             ? ctx.config.num_layers()
+                             : ctx.plan.explicit_rounds;
+  auto run_ops = [&](const std::vector<PlanOp>& ops, index_t round) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const PlanOp& op = ops[i];
+      if (i + 1 < ops.size() && fusable_masked_union(ctx, op, ops[i + 1])) {
+        const PlanOp& next = ops[i + 1];
+        double mask_s = 0.0, union_s = 0.0;
+        exec_masked_union_fused(ctx, op, &mask_s, &union_s);
+        PlanOpStats& ms = stats[ctx.plan.name + "/" + op.label];
+        ms.seconds += mask_s;
+        ++ms.calls;
+        PlanOpStats& us = stats[ctx.plan.name + "/" + next.label];
+        us.seconds += union_s;
+        ++us.calls;
+        ++i;
+        continue;
+      }
+      Timer t;
+      exec_op(ctx, op, round);
+      PlanOpStats& s = stats[ctx.plan.name + "/" + op.label];
+      s.seconds += t.seconds();
+      ++s.calls;
+    }
+  };
+  for (index_t l = 0; l < rounds; ++l) {
+    bool any_live = false;
+    for (const RowState& r : ctx.rows) any_live = any_live || !r.stopped;
+    if (!any_live) break;
+    run_ops(ctx.plan.body, l);
+  }
+  // The epilogue runs for every row, including walk plans whose frontier
+  // emptied early (the visited set is still the sample).
+  for (RowState& r : ctx.rows) r.stopped = false;
+  run_ops(ctx.plan.epilogue, rounds == 0 ? 0 : rounds - 1);
+}
+
+}  // namespace
+
+std::vector<MinibatchSample> PlanExecutor::run(
+    const Graph& graph, const std::vector<std::vector<index_t>>& batches,
+    const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed,
+    Workspace* ws, const std::vector<value_t>* global_weights) const {
+  check(batches.size() == batch_ids.size(),
+        "PlanExecutor::run: ids/batches mismatch");
+  check(!plan_.distributed,
+        "PlanExecutor::run: plan '" + plan_.name +
+            "' is dist-lowered; use run_partitioned");
+  check(ws != nullptr, "PlanExecutor::run: workspace required");
+  check(!plan_.needs_global_weights || global_weights != nullptr,
+        "PlanExecutor::run: plan '" + plan_.name +
+            "' needs bound global weights");
+  RunCtx ctx{plan_, config_};
+  ctx.n = graph.num_vertices();
+  ctx.adj = &graph.adjacency();
+  ctx.batch_ids = &batch_ids;
+  ctx.epoch_seed = epoch_seed;
+  ctx.ws = ws;
+  ctx.weights = global_weights;
+  ctx.rows.resize(1);
+  init_row(ctx, ctx.rows[0], 0, batches, static_cast<index_t>(batches.size()));
+  run_rounds(ctx, stats_);
+  return std::move(ctx.rows[0].out);
+}
+
+std::vector<std::vector<MinibatchSample>> PlanExecutor::run_partitioned(
+    Cluster& cluster, const DistBlockRowMatrix& adj, const BlockPartition& assign,
+    const std::vector<std::vector<index_t>>& batches,
+    const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed,
+    Workspace* ws, const SpgemmOptions& local_spgemm, bool sparsity_aware,
+    const std::vector<value_t>* global_weights) const {
+  check(batches.size() == batch_ids.size(),
+        "PlanExecutor::run_partitioned: ids/batches mismatch");
+  check(plan_.distributed,
+        "PlanExecutor::run_partitioned: plan '" + plan_.name +
+            "' is not dist-lowered (lower_to_dist)");
+  check(ws != nullptr, "PlanExecutor::run_partitioned: workspace required");
+  check(!plan_.needs_global_weights || global_weights != nullptr,
+        "PlanExecutor::run_partitioned: plan '" + plan_.name +
+            "' needs bound global weights");
+  RunCtx ctx{plan_, config_};
+  ctx.n = adj.rows();
+  ctx.dadj = &adj;
+  ctx.cluster = &cluster;
+  ctx.batch_ids = &batch_ids;
+  ctx.epoch_seed = epoch_seed;
+  ctx.ws = ws;
+  ctx.weights = global_weights;
+  ctx.local = local_spgemm;
+  ctx.sparsity_aware = sparsity_aware;
+  ctx.rows.resize(static_cast<std::size_t>(assign.parts()));
+  for (index_t i = 0; i < assign.parts(); ++i) {
+    init_row(ctx, ctx.rows[static_cast<std::size_t>(i)], assign.begin(i),
+             batches, assign.end(i) - assign.begin(i));
+  }
+  run_rounds(ctx, stats_);
+  std::vector<std::vector<MinibatchSample>> out;
+  out.reserve(ctx.rows.size());
+  for (RowState& r : ctx.rows) out.push_back(std::move(r.out));
+  return out;
+}
+
+}  // namespace dms

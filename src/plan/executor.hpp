@@ -1,0 +1,83 @@
+// The accounted plan executor (DESIGN.md §9): binds a SamplePlan's symbolic
+// slots to concrete CSR/frontier buffers and runs its ops through the
+// existing kernel machinery — the adaptive SpGEMM engine, its_sample_rows,
+// and the Workspace arena in replicated mode; the 1.5D collectives plus
+// per-process-row local kernels in partitioned mode.
+//
+// Accounting: every op is wall-clock timed into a per-op table (keyed
+// "<plan>/<label>"; surfaced through MatrixSampler::op_time_breakdown and
+// EpochStats::sampler_ops), and in partitioned mode its time additionally
+// reaches the Cluster under the op's canonical phase tag — max over process
+// rows for row-local ops, via the 1.5D collective's own compute/comm
+// recording for kSpgemm15d/kMaskedExtract15d. The canonical phases keep
+// EpochStats and the Figure 7 breakdowns identical to the pre-IR samplers.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "common/workspace.hpp"
+#include "core/sampler.hpp"
+#include "dist/spgemm_15d.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "plan/plan.hpp"
+
+namespace dms {
+
+/// Cumulative per-op execution statistics (host wall-clock).
+struct PlanOpStats {
+  double seconds = 0.0;
+  std::uint64_t calls = 0;
+};
+
+class PlanExecutor {
+ public:
+  /// Validates and stores the plan. `config` supplies the per-round fanouts
+  /// (and must outlast nothing — it is copied).
+  PlanExecutor(SamplePlan plan, SamplerConfig config);
+
+  const SamplePlan& plan() const { return plan_; }
+  const SamplerConfig& config() const { return config_; }
+
+  /// Replicated / single-node execution: runs the (unlowered) plan against
+  /// `graph`'s adjacency. `ws` is the caller's scratch arena (required);
+  /// `global_weights` binds the prefix-sum distribution of
+  /// kItsSample/kGlobalWeights plans (FastGCN). One run at a time per
+  /// executor (the Workspace contract).
+  std::vector<MinibatchSample> run(
+      const Graph& graph, const std::vector<std::vector<index_t>>& batches,
+      const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed,
+      Workspace* ws, const std::vector<value_t>* global_weights = nullptr) const;
+
+  /// Partitioned execution of a lowered plan: batches are pre-assigned to
+  /// process rows by `assign`; ops run per process row with row-local time
+  /// recorded max-over-rows on `cluster`, and the lowered collectives run
+  /// through spgemm_15d with `local_spgemm` threading the per-panel engine
+  /// options. Returns per-process-row samples (concatenation restores
+  /// global batch order).
+  std::vector<std::vector<MinibatchSample>> run_partitioned(
+      Cluster& cluster, const DistBlockRowMatrix& adj, const BlockPartition& assign,
+      const std::vector<std::vector<index_t>>& batches,
+      const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed,
+      Workspace* ws, const SpgemmOptions& local_spgemm, bool sparsity_aware,
+      const std::vector<value_t>* global_weights = nullptr) const;
+
+  /// Cumulative per-op stats since construction / reset, keyed
+  /// "<plan>/<label>".
+  const std::map<std::string, PlanOpStats>& op_stats() const { return stats_; }
+  /// op_stats() projected to seconds (the MatrixSampler breakdown surface).
+  std::map<std::string, double> op_seconds() const;
+  void reset_stats() const { stats_.clear(); }
+
+ private:
+  SamplePlan plan_;
+  SamplerConfig config_;
+  /// Per-op accounting. Samplers drive their executor sequentially (the
+  /// Workspace ownership contract), so mutation from const runs is safe.
+  mutable std::map<std::string, PlanOpStats> stats_;
+};
+
+}  // namespace dms

@@ -1,0 +1,188 @@
+// Sampling-plan IR (DESIGN.md §9): every sampler in the library is a small
+// matrix-op program — a SamplePlan — over symbolic matrix slots, executed by
+// one accounted PlanExecutor (plan/executor.hpp).
+//
+// The paper's framework (§4) expresses GraphSAGE, LADIES and FastGCN as
+// compositions of the same primitives: probability-generation SpGEMM, NORM,
+// ITS sampling, and extraction SpGEMMs. The IR makes that algebra explicit:
+// a plan's *body* is run once per sampled layer (round), reading and writing
+// typed slots (sparse matrices, per-batch frontiers, per-batch sampled
+// sets); an optional *epilogue* runs after the last round (GraphSAINT's
+// induced-subgraph emission). Two slots persist across rounds — the frontier
+// and, for walk-based plans, the visited set — everything else is
+// recomputed each round.
+//
+// Execution modes share one plan definition. The replicated executor runs
+// ops through the single-node kernels (spgemm_engine, its_sample_rows); the
+// partitioned executor runs a *lowered* plan (lower_to_dist) in which every
+// kSpgemm has been rewritten to the collective kSpgemm15d and every
+// kMaskedExtract to kMaskedExtract15d — the stacked 1.5D row-extraction
+// product plus per-batch masked slicing, whose internal fetch/exchange steps
+// carry the communication accounting. Because every kernel obeys the
+// engine's bit-identity contract and all randomness is derived from (epoch,
+// global batch id, round, row) seeds, a plan produces bit-identical
+// minibatches in every mode, grid shape, and thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dms {
+
+// Phase names under which plan ops account compute/comm time on a Cluster
+// (Figure 7 breakdowns). Formerly defined by dist/dist_sampler.hpp; they
+// live here because every op of the IR carries one.
+inline constexpr const char* kPhaseProbability = "probability";
+inline constexpr const char* kPhaseSampling = "sampling";
+inline constexpr const char* kPhaseExtraction = "extraction";
+
+/// Symbolic slot handle. Slots are typed at execution time: a slot holds a
+/// sparse matrix, per-batch vertex lists (frontiers / sampled sets), a
+/// per-batch matrix list, or a frontier stack (Eq. 1 row offsets).
+using SlotId = int;
+inline constexpr SlotId kNoSlot = -1;
+
+enum class PlanOpKind {
+  /// frontiers → Q. kOnePerVertex stacks the per-batch lists (Eq. 1) and
+  /// emits one nonzero per row plus the FrontierStack (out2); kIndicator
+  /// emits one indicator row per batch (§4.2.1).
+  kBuildQ,
+  /// out = in · A, the probability-generation / row-extraction product
+  /// against the bound adjacency. Lowered to kSpgemm15d for partitioned
+  /// execution.
+  kSpgemm,
+  /// In-place NORM on a matrix slot: kRow row-normalizes (§4.1.1); kLadies
+  /// squares entries first (p_v ∝ e_v², Zou et al. 2019).
+  kNormalize,
+  /// SAMPLE via inverse transform sampling (§4.1.2). kMatrixRows samples s
+  /// distinct columns from each row of a probability matrix; kGlobalWeights
+  /// samples per batch from a bound global weight prefix (FastGCN's
+  /// batch-independent distribution) into a sampled-set slot.
+  kItsSample,
+  /// LABOR-style per-vertex Poisson thinning: keep entry (r, u) of the
+  /// row-normalized P iff the shared per-vertex uniform r_u — derived from
+  /// (epoch, batch, round, u), identical across rows of one batch — is
+  /// below s·P(r, u). Correlated inclusion minimizes the union frontier.
+  kPoissonThin,
+  /// Per-batch row read of a matrix slot into a sampled-set slot
+  /// (row b → the sampled vertex ids of batch b).
+  kSlice,
+  /// Fused masked extraction A_S = (Q_R·A)[:, S] per batch (§4.2.3,
+  /// §8.2.2): rows from the frontier, columns from a sampled-set slot.
+  /// Lowered to kMaskedExtract15d for partitioned execution.
+  kMaskedExtract,
+  /// EXTRACT + frontier advance: assembles one LayerSample per batch and
+  /// replaces the frontier with the new column space (rows lead, see
+  /// sampler.hpp). kNeighborRows renumbers sampled Q rows (GraphSAGE
+  /// §4.1.3); kSampledSets unions rows ∪ sampled over a masked-extraction
+  /// result (LADIES / FastGCN).
+  kFrontierUnion,
+  /// Random-walk step: frontier[b] ← sampled next vertex per walker (dead
+  /// walks drop out), appending survivors to the visited slot.
+  kWalkAdvance,
+  /// Epilogue op: per batch, the subgraph induced on the (sorted, deduped)
+  /// visited set, emitted `copies` times (GraphSAINT trains an L-layer
+  /// model on one induced adjacency). Replaces batch_vertices with V_s.
+  kInducedLayers,
+  // --- dist-lowered forms (produced by lower_to_dist; executed only by the
+  // partitioned executor) ---
+  /// kSpgemm lowered to the 1.5D collective (Algorithm 2): per-process-row
+  /// Q blocks, chunked A-row fetch/exchange, all-reduce of partials.
+  kSpgemm15d,
+  /// kMaskedExtract lowered to the distributed form: stacked Q_R through
+  /// the 1.5D collective, then per-batch row_slice + masked extraction.
+  kMaskedExtract15d,
+};
+
+enum class QMode { kOnePerVertex, kIndicator };
+enum class NormMode { kRow, kLadies };
+enum class SampleSource { kMatrixRows, kGlobalWeights };
+enum class AssembleMode { kNeighborRows, kSampledSets };
+
+/// Fourth derive_seed argument of a sampling op's per-row seed.
+enum class SeedRowTerm { kLocalRow, kZero, kOne };
+
+/// Randomness of one sampling op: seed = derive_seed(epoch_seed, global
+/// batch id, round + layer_salt, row term). Derived per (batch, round, row)
+/// — never from the rank layout or thread count — which is what makes every
+/// execution mode reproduce the same samples (the determinism contract).
+struct SeedRule {
+  std::uint64_t layer_salt = 0;
+  SeedRowTerm row = SeedRowTerm::kZero;
+};
+
+struct PlanOp {
+  PlanOpKind kind = PlanOpKind::kBuildQ;
+  /// Per-op accounting label (EpochStats::sampler_ops key is
+  /// "<plan>/<label>").
+  std::string label;
+  /// Cluster phase this op's time is recorded under (kPhase*).
+  const char* phase = kPhaseProbability;
+  SlotId in = kNoSlot;   ///< primary input slot
+  SlotId in2 = kNoSlot;  ///< secondary input (stack / sampled sets)
+  SlotId out = kNoSlot;  ///< primary output slot
+  SlotId out2 = kNoSlot; ///< secondary output (kBuildQ's FrontierStack)
+  QMode qmode = QMode::kOnePerVertex;
+  NormMode norm = NormMode::kRow;
+  SampleSource source = SampleSource::kMatrixRows;
+  SeedRule seed;
+  AssembleMode assemble = AssembleMode::kNeighborRows;
+  /// Per-round sample count override (GraphSAINT walks use s = 1); < 0
+  /// reads SamplerConfig::fanouts[round].
+  index_t fixed_s = -1;
+  /// kInducedLayers: how many identical layers to emit.
+  index_t copies = 1;
+};
+
+/// A compiled sampler: the op program plus its slot/loop structure.
+struct SamplePlan {
+  std::string name;
+  index_t num_slots = 0;
+  /// Persistent slot holding the per-batch frontier; bound to the batch
+  /// vertex lists when a run starts.
+  SlotId frontier_slot = kNoSlot;
+  /// Persistent visited-set slot for walk plans (kNoSlot otherwise).
+  SlotId visited_slot = kNoSlot;
+  /// true: rounds = SamplerConfig::fanouts.size(); false: explicit_rounds
+  /// (GraphSAINT's walk length is independent of the model depth).
+  bool rounds_from_fanouts = true;
+  index_t explicit_rounds = 0;
+  /// Stop the round loop early when kBuildQ stacks an empty frontier
+  /// (GraphSAINT: every walk hit a sink).
+  bool stop_on_empty_frontier = false;
+  /// Plan samples from a bound global weight prefix (FastGCN).
+  bool needs_global_weights = false;
+  /// Set by lower_to_dist: kSpgemm/kMaskedExtract have been rewritten to
+  /// their collective forms and the plan is executable only by the
+  /// partitioned executor.
+  bool distributed = false;
+  std::vector<PlanOp> body;      ///< run once per round
+  std::vector<PlanOp> epilogue;  ///< run once after the last round
+
+  SlotId add_slot() { return num_slots++; }
+};
+
+/// Structural validation: every op reads only slots that are bound (the
+/// frontier/visited slots) or were written earlier in the program, operand
+/// slots required by the op kind are present and in range, and dist-only op
+/// kinds appear only in lowered plans. Throws DmsError ("unbound slot",
+/// "missing operand", ...) on the first violation.
+void validate_plan(const SamplePlan& plan);
+
+/// The dist lowering pass (§5.2): returns a copy of `plan` with every
+/// kSpgemm rewritten to kSpgemm15d and every kMaskedExtract to
+/// kMaskedExtract15d (which insert the block-row fetch/exchange and
+/// all-reduce steps of Algorithm 2 when executed), and `distributed` set.
+/// Row-local ops are unchanged. Throws DmsError for plans containing ops
+/// with no distributed form (kInducedLayers).
+SamplePlan lower_to_dist(const SamplePlan& plan);
+
+std::string to_string(PlanOpKind kind);
+
+/// Human-readable program listing (one op per line), for docs and tests.
+std::string describe(const SamplePlan& plan);
+
+}  // namespace dms

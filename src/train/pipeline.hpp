@@ -85,6 +85,11 @@ struct EpochStats {
   std::size_t fetch_bytes_saved = 0;  ///< payload avoided by cache hits
   std::map<std::string, double> compute_phases;  ///< full breakdown
   std::map<std::string, double> comm_phases;
+  /// Host wall-clock seconds per sampling-plan op this epoch, keyed
+  /// "<plan>/<op label>" (DESIGN.md §9): the per-op stage boundaries inside
+  /// the coarse `sampling` phase. Observability only — not part of the
+  /// simulated-clock composition the consistency invariants cover.
+  std::map<std::string, double> sampler_ops;
 };
 
 class Pipeline {

@@ -64,6 +64,10 @@ EpochStats StagedPipeline::run(int epoch) {
   const std::vector<BulkRound> rounds = plan_bulk_rounds(steps_, bulk_steps);
 
   const FeatureCacheStats cache_before = p_.features_.cache_stats();
+  // Plan-op breakdown: the executor's table is cumulative, so diff the
+  // epoch's delta below.
+  const std::map<std::string, double> ops_before =
+      p_.sampler_->op_time_breakdown();
   loss_sum_ = 0.0;
   correct_ = seen_ = 0;
   double stall = 0.0;
@@ -122,6 +126,11 @@ EpochStats StagedPipeline::run(int epoch) {
   stats.compute_phases = cluster.compute_time();
   for (const auto& [phase, s] : cluster.comm_stats()) {
     stats.comm_phases[phase] = s.seconds;
+  }
+  for (const auto& [op, seconds] : p_.sampler_->op_time_breakdown()) {
+    const auto it = ops_before.find(op);
+    stats.sampler_ops[op] =
+        seconds - (it == ops_before.end() ? 0.0 : it->second);
   }
   batches_ = nullptr;
   return stats;

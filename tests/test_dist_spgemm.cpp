@@ -5,7 +5,7 @@
 
 #include "dist/spgemm_15d.hpp"
 #include "sparse/ops.hpp"
-#include "sparse/spgemm.hpp"
+#include "sparse/spgemm_engine.hpp"
 #include "test_util.hpp"
 
 namespace dms {

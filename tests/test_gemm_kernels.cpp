@@ -185,12 +185,13 @@ CsrMatrix its_sample_rows_serial_reference(const CsrMatrix& p, index_t s,
   std::vector<value_t> vals;
   std::vector<value_t> prefix;
   std::vector<index_t> picked;
+  std::vector<char> chosen;
   for (index_t r = 0; r < p.rows(); ++r) {
     const auto rvals = p.row_vals(r);
     const auto rcols = p.row_cols(r);
     prefix.assign(1, 0.0);
     for (const value_t v : rvals) prefix.push_back(prefix.back() + std::max(v, 0.0));
-    its_sample_one(prefix, s, row_seed(r), &picked);
+    its_sample_one(prefix, s, row_seed(r), &picked, chosen);
     for (const index_t local : picked) {
       colidx.push_back(rcols[static_cast<std::size_t>(local)]);
       vals.push_back(1.0);
@@ -258,7 +259,10 @@ TEST(ItsSampleOne, ScratchOverloadMatchesShim) {
   for (std::uint64_t seed = 0; seed < 30; ++seed) {
     std::vector<index_t> with_scratch, shim;
     its_sample_one(prefix, 7, seed, &with_scratch, chosen);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     its_sample_one(prefix, 7, seed, &shim);
+#pragma GCC diagnostic pop
     EXPECT_EQ(with_scratch, shim);
   }
 }

@@ -148,14 +148,31 @@ TEST(Pipeline, PartitionedLadiesRunsEndToEnd) {
   EXPECT_GT(pipe.run_epoch(0).total, 0.0);
 }
 
-TEST(Pipeline, PartitionedFastGcnRejected) {
+TEST(Pipeline, PartitionedFastGcnRunsEndToEnd) {
+  // Historically rejected; the plan IR's dist lowering gave FastGCN its
+  // partitioned form for free (row-local sampling; only the masked
+  // extraction lowers to the 1.5D collective).
   const Dataset ds = small_planted();
   Cluster cluster(ProcessGrid(2, 1), CostModel(LinkParams{}));
   PipelineConfig cfg;
   cfg.sampler = SamplerKind::kFastGcn;
   cfg.mode = DistMode::kPartitioned;
   cfg.fanouts = {8};
-  EXPECT_THROW(Pipeline(cluster, ds, cfg), DmsError);
+  Pipeline pipe(cluster, ds, cfg);
+  EXPECT_GT(pipe.run_epoch(0).total, 0.0);
+}
+
+TEST(Pipeline, PartitionedLaborRunsEndToEnd) {
+  const Dataset ds = small_planted();
+  Cluster cluster(ProcessGrid(4, 2), CostModel(LinkParams{}));
+  PipelineConfig cfg;
+  cfg.sampler = SamplerKind::kLabor;
+  cfg.mode = DistMode::kPartitioned;
+  cfg.batch_size = 32;
+  cfg.fanouts = {6, 4};
+  cfg.hidden = 16;
+  Pipeline pipe(cluster, ds, cfg);
+  EXPECT_GT(pipe.run_epoch(0).total, 0.0);
 }
 
 TEST(Pipeline, PerRankBytesLargerWhenReplicated) {

@@ -15,7 +15,7 @@
 #include "core/ladies.hpp"
 #include "graph/generators.hpp"
 #include "sparse/ops.hpp"
-#include "sparse/spgemm.hpp"
+#include "sparse/spgemm_engine.hpp"
 #include "test_util.hpp"
 
 namespace dms {

@@ -81,7 +81,9 @@ TEST(SamplerFactory, PartitionedMatchesReplicatedThroughCommonInterface) {
   const ProcessGrid grid(8, 2);
   const std::vector<std::vector<index_t>> batches = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}};
   const std::vector<index_t> ids = {0, 1, 2};
-  for (const SamplerKind kind : {SamplerKind::kGraphSage, SamplerKind::kLadies}) {
+  for (const SamplerKind kind :
+       {SamplerKind::kGraphSage, SamplerKind::kLadies, SamplerKind::kFastGcn,
+        SamplerKind::kLabor}) {
     SamplerContext ctx = make_context(&grid);
     const auto rep = make_sampler(kind, DistMode::kReplicated, g, ctx);
     const auto part = make_sampler(kind, DistMode::kPartitioned, g, ctx);
@@ -94,14 +96,34 @@ TEST(SamplerFactory, PartitionedMatchesReplicatedThroughCommonInterface) {
   }
 }
 
+TEST(SamplerFactory, EveryKindRegisteredInBothModes) {
+  // The plan IR closed the historical gaps (partitioned FastGCN, LABOR):
+  // every algorithm × execution mode is constructible.
+  for (const SamplerKind kind :
+       {SamplerKind::kGraphSage, SamplerKind::kLadies, SamplerKind::kFastGcn,
+        SamplerKind::kLabor}) {
+    for (const DistMode mode : {DistMode::kReplicated, DistMode::kPartitioned}) {
+      EXPECT_TRUE(SamplerRegistry::instance().contains(kind, mode))
+          << to_string(kind) << "/" << to_string(mode);
+    }
+  }
+}
+
 TEST(SamplerFactory, UnregisteredCombinationThrows) {
   const Graph g = test_graph();
   const ProcessGrid grid(4, 2);
   SamplerContext ctx = make_context(&grid);
-  EXPECT_FALSE(SamplerRegistry::instance().contains(SamplerKind::kFastGcn,
-                                                    DistMode::kPartitioned));
+  auto& registry = SamplerRegistry::instance();
+  // Vacate a slot to observe the unregistered behavior, then restore it.
+  auto previous = registry.register_creator(SamplerKind::kLabor,
+                                            DistMode::kPartitioned, {});
+  ASSERT_TRUE(previous != nullptr);
+  EXPECT_FALSE(registry.contains(SamplerKind::kLabor, DistMode::kPartitioned));
   EXPECT_THROW(
-      make_sampler(SamplerKind::kFastGcn, DistMode::kPartitioned, g, ctx), DmsError);
+      make_sampler(SamplerKind::kLabor, DistMode::kPartitioned, g, ctx), DmsError);
+  registry.register_creator(SamplerKind::kLabor, DistMode::kPartitioned,
+                            std::move(previous));
+  EXPECT_TRUE(registry.contains(SamplerKind::kLabor, DistMode::kPartitioned));
 }
 
 TEST(SamplerFactory, PartitionedModeRequiresGrid) {
@@ -116,19 +138,25 @@ TEST(SamplerFactory, RegistryIsRuntimeExtensible) {
   const ProcessGrid grid(4, 2);
   SamplerContext ctx = make_context(&grid);
   auto& registry = SamplerRegistry::instance();
-  // Plug a stand-in creator into the open (FastGCN, partitioned) slot.
+  // Override an occupied slot with a stand-in creator; the previous creator
+  // comes back so the override can be reverted.
   auto previous = registry.register_creator(
       SamplerKind::kFastGcn, DistMode::kPartitioned,
       [](const Graph& graph, const SamplerContext& c) {
         return std::make_unique<FastGcnSampler>(graph, c.config);
       });
-  EXPECT_TRUE(previous == nullptr);
+  EXPECT_TRUE(previous != nullptr);
   const auto sampler =
       make_sampler(SamplerKind::kFastGcn, DistMode::kPartitioned, g, ctx);
   EXPECT_EQ(sampler->sample_one({0, 1}, 0, 5).layers.size(), 2u);
-  registry.unregister(SamplerKind::kFastGcn, DistMode::kPartitioned);
-  EXPECT_THROW(
-      make_sampler(SamplerKind::kFastGcn, DistMode::kPartitioned, g, ctx), DmsError);
+  // The stand-in is a replicated FastGCN, so the downcast must now fail...
+  EXPECT_THROW(as_partitioned(*sampler), DmsError);
+  // ...and restoring the previous creator brings the partitioned form back.
+  registry.register_creator(SamplerKind::kFastGcn, DistMode::kPartitioned,
+                            std::move(previous));
+  const auto restored =
+      make_sampler(SamplerKind::kFastGcn, DistMode::kPartitioned, g, ctx);
+  EXPECT_NO_THROW(as_partitioned(*restored));
 }
 
 TEST(SamplerFactory, AsPartitionedRejectsReplicatedSamplers) {

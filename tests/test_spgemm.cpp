@@ -5,7 +5,7 @@
 #include <tuple>
 
 #include "sparse/ops.hpp"
-#include "sparse/spgemm.hpp"
+#include "sparse/spgemm_engine.hpp"
 #include "test_util.hpp"
 
 namespace dms {

@@ -101,7 +101,37 @@ INSTANTIATE_TEST_SUITE_P(
                       // tall-thin vs short-wide (hash vs dense territory)
                       EngineSweep{4, 64, 512, 0.2, 0.05},
                       EngineSweep{128, 16, 8, 0.4, 0.6},
-                      EngineSweep{100, 100, 100, 0.02, 0.02}));
+                      EngineSweep{100, 100, 100, 0.02, 0.02},
+                      // folded from the retired hash-kernel suite
+                      EngineSweep{16, 128, 16, 0.3, 0.02},
+                      EngineSweep{33, 77, 55, 0.02, 0.5}));
+
+// --- folded from tests/test_spgemm_hash.cpp (the suite that tested the
+// pre-engine hash kernel; it has exercised the engine API since PR 2) -----
+
+TEST(SpgemmEngine, HashKernelSurvivesCollisionHeavyColumns) {
+  // Many A rows hitting the same few B columns stresses probing/merging.
+  CooMatrix acoo(32, 8);
+  CooMatrix bcoo(8, 4);
+  Pcg32 rng(7);
+  for (index_t r = 0; r < 32; ++r) {
+    for (index_t k = 0; k < 8; ++k) acoo.push(r, k, rng.uniform() + 0.1);
+  }
+  for (index_t k = 0; k < 8; ++k) {
+    for (index_t c = 0; c < 4; ++c) bcoo.push(k, c, rng.uniform() + 0.1);
+  }
+  const CsrMatrix a = CsrMatrix::from_coo(acoo);
+  const CsrMatrix b = CsrMatrix::from_coo(bcoo);
+  EXPECT_TRUE(run(a, b, SpgemmKernel::kHash) == run(a, b, SpgemmKernel::kDense));
+}
+
+TEST(SpgemmEngine, EstimatorPrefersHashForSparseRowsOverWideOutput) {
+  // Tiny flop volume into a huge column space → the dense accumulator's
+  // O(cols) workspace cannot amortize.
+  EXPECT_EQ(spgemm_pick_kernel(16, 1 << 20), SpgemmKernel::kHash);
+  // Dense row blocks over a modest column space → dense wins.
+  EXPECT_EQ(spgemm_pick_kernel(1 << 20, 1024), SpgemmKernel::kDense);
+}
 
 TEST(SpgemmEngine, MaskedExtractionMatchesExtractColumns) {
   const CsrMatrix a = random_csr(30, 80, 0.15, 401);
