@@ -151,19 +151,44 @@ class CsvWriter {
 // fields only. A writer opened with append=true splices its rows into an
 // existing array written by a previous (possibly different) bench binary —
 // this is how micro_gemm and micro_spgemm share BENCH_micro.json.
+/// Renders `s` as a JSON string literal (quotes included): escapes quote,
+/// backslash, the named control characters, and any other byte < 0x20 as
+/// \u00XX. Case ids are normally tame, but a stray newline or tab in a
+/// generated label must not corrupt the whole BENCH_*.json array.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
 class JsonWriter {
  public:
   /// One rendered key/value pair of a row object.
   struct Field {
-    Field(const char* k, const std::string& v) : key(k) {
-      rendered.reserve(v.size() + 2);
-      rendered.push_back('"');
-      for (const char c : v) {
-        if (c == '"' || c == '\\') rendered.push_back('\\');
-        rendered.push_back(c);
-      }
-      rendered.push_back('"');
-    }
+    Field(const char* k, const std::string& v)
+        : key(k), rendered(json_escape(v)) {}
     Field(const char* k, const char* v) : Field(k, std::string(v)) {}
     Field(const char* k, double v) : key(k) {
       char buf[64];
@@ -230,8 +255,9 @@ class JsonWriter {
     }
     std::fprintf(f_, "  {");
     for (std::size_t i = 0; i < fields.size(); ++i) {
-      std::fprintf(f_, "%s\"%s\": %s", i == 0 ? "" : ", ",
-                   fields[i].key.c_str(), fields[i].rendered.c_str());
+      std::fprintf(f_, "%s%s: %s", i == 0 ? "" : ", ",
+                   json_escape(fields[i].key).c_str(),
+                   fields[i].rendered.c_str());
     }
     std::fprintf(f_, "}");
     ++rows_;

@@ -1,0 +1,339 @@
+// Online serving latency bench (DESIGN.md §10): drives a seeded open-loop
+// arrival process through the Coalescer + ServeEngine stack as a
+// discrete-event single-server simulation, sweeping coalescing window ×
+// batch cap × sampler, and reports per-request p50/p95/p99 latency plus
+// throughput. The arrival clock is real seconds: the mean single-request
+// service time is calibrated first and the arrival rate / windows are set as
+// multiples of it, so every machine runs at the same relative load (the
+// window labels w0/w2/w8 are service-time multiples — stable trajectory
+// keys).
+//
+// --smoke exits nonzero unless (a) coalesced predictions are bit-identical
+// to the same requests served alone on a fresh engine, (b) steady-state
+// serving is allocation-free (trace-replay: run a trace, freeze the arena,
+// replay the identical trace, the frozen arena must not grow), and (c) a
+// coalescing config beats strict batch-size-1 serving on server-busy
+// throughput. --json=PATH appends one row per sweep cell to BENCH_serve.json.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "nn/model.hpp"
+#include "serve/engine.hpp"
+
+namespace dms {
+namespace {
+
+ServeEngineConfig engine_config(SamplerKind kind) {
+  ServeEngineConfig cfg;
+  cfg.sampler = kind;
+  cfg.mode = DistMode::kReplicated;
+  cfg.fanouts = {8, 4};  // 2-layer serving slice of the bench architecture
+  return cfg;
+}
+
+/// Seeded request trace: `n` requests with 1-4 distinct seed vertices drawn
+/// from the train split and exponential interarrivals of mean
+/// `mean_interarrival` seconds (open-loop: arrivals ignore the server).
+std::vector<ServeRequest> make_trace(const Dataset& ds, std::size_t n,
+                                     double mean_interarrival,
+                                     std::uint64_t seed) {
+  std::vector<ServeRequest> reqs(n);
+  Pcg32 rng(seed, 0x5e12e);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs[i].id = static_cast<index_t>(i);
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.bounded(4));
+    while (reqs[i].seeds.size() < k) {
+      const index_t v = ds.train_idx[static_cast<std::size_t>(rng.bounded(
+          static_cast<std::uint32_t>(ds.train_idx.size())))];
+      if (std::find(reqs[i].seeds.begin(), reqs[i].seeds.end(), v) ==
+          reqs[i].seeds.end()) {
+        reqs[i].seeds.push_back(v);
+      }
+    }
+    reqs[i].arrival = clock;
+    // Inverse-CDF exponential draw; 1-u keeps the log argument positive.
+    clock += -mean_interarrival * std::log(1.0 - rng.uniform());
+  }
+  return reqs;
+}
+
+struct SimResult {
+  double makespan = 0.0;  ///< last batch completion on the serve clock
+  std::vector<CoalescedBatch> batches;   ///< admission decisions, in order
+  std::map<index_t, DenseF> logits;      ///< per request id
+};
+
+/// Discrete-event single-server loop: the coalescer decides admission on the
+/// arrival clock, the server's busy time is the measured host wall-clock of
+/// each engine.serve call, and a batch starts at max(ready_at, server_free)
+/// — backlog behind a busy server coalesces naturally.
+SimResult run_sim(ServeEngine& engine, const std::vector<ServeRequest>& reqs,
+                  const CoalescerConfig& cfg, bool keep_logits) {
+  engine.reset_stats();
+  Coalescer coal(cfg);
+  for (const ServeRequest& r : reqs) coal.push(r);
+  SimResult sim;
+  double server_free = 0.0;
+  while (!coal.empty()) {
+    const double start = std::max(coal.ready_at(), server_free);
+    CoalescedBatch batch = coal.pop(start);
+    Timer t;
+    ServeBatchResult res = engine.serve(batch);
+    server_free = start + t.seconds();
+    if (keep_logits) {
+      for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+        sim.logits.emplace(batch.requests[i].id, std::move(res.logits[i]));
+      }
+    }
+    sim.batches.push_back(std::move(batch));
+  }
+  sim.makespan = server_free;
+  return sim;
+}
+
+bool bits_equal(const DenseF& a, const DenseF& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      if (a(i, j) != b(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+struct Cell {
+  std::string sampler;
+  std::string window_label;  ///< w0/w2/w8: window in mean-service multiples
+  index_t cap = 1;
+  std::size_t requests = 0;
+  double mean_batch = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double queue_p99 = 0.0;
+  double service_s = 0.0;   ///< server-busy seconds across the run
+  double makespan_s = 0.0;
+  double sampling_s = 0.0, fetch_s = 0.0, inference_s = 0.0;
+  double throughput() const {
+    return makespan_s > 0.0 ? static_cast<double>(requests) / makespan_s : 0.0;
+  }
+};
+
+Cell summarize(const std::string& sampler, const std::string& wlabel,
+               index_t cap, const ServeEngine& engine, const SimResult& sim) {
+  const ServeStats& s = engine.stats();
+  Cell c;
+  c.sampler = sampler;
+  c.window_label = wlabel;
+  c.cap = cap;
+  c.requests = s.num_requests();
+  c.mean_batch = s.mean_batch_size();
+  c.p50 = s.p50();
+  c.p95 = s.p95();
+  c.p99 = s.p99();
+  c.queue_p99 = s.queue_wait_percentile(99.0);
+  c.service_s = s.service_seconds();
+  c.makespan_s = sim.makespan;
+  c.sampling_s = s.sampling_seconds();
+  c.fetch_s = s.fetch_seconds();
+  c.inference_s = s.inference_seconds();
+  return c;
+}
+
+/// Mean single-request service time (doubles as engine warmup): the unit the
+/// arrival rate and coalescing windows are expressed in.
+double calibrate(ServeEngine& engine, const Dataset& ds) {
+  Pcg32 rng(99, 0xca1);
+  const int m = 8;
+  for (int i = 0; i < m; ++i) {
+    ServeRequest r;
+    r.id = static_cast<index_t>(1'000'000 + i);  // off the trace's id space
+    for (int k = 0; k < 4; ++k) {
+      r.seeds.push_back(ds.train_idx[static_cast<std::size_t>(rng.bounded(
+          static_cast<std::uint32_t>(ds.train_idx.size())))]);
+    }
+    std::sort(r.seeds.begin(), r.seeds.end());
+    r.seeds.erase(std::unique(r.seeds.begin(), r.seeds.end()), r.seeds.end());
+    engine.serve_one(r);
+  }
+  const double mean = engine.stats().service_seconds() / m;
+  engine.reset_stats();
+  return mean;
+}
+
+int run(bool smoke, const std::string& json_path) {
+  const Dataset& ds = bench::dataset("products");
+  const ProcessGrid grid(4, 2);
+  FeatureStore store(grid, ds.features);
+  ModelConfig mc;
+  mc.in_dim = static_cast<index_t>(bench::arch().features);
+  mc.hidden = bench::arch().hidden;
+  mc.num_classes = ds.num_classes;
+  mc.num_layers = 2;
+  mc.seed = 11;
+  const SageModel model(mc);
+
+  const std::size_t n_requests = smoke ? 64 : 256;
+  // Load 2: arrivals come twice as fast as batch-size-1 service drains them,
+  // so the no-coalescing baseline saturates and backlog exists to coalesce.
+  const double load = 2.0;
+  const std::vector<double> window_mults = smoke
+                                               ? std::vector<double>{0.0, 2.0}
+                                               : std::vector<double>{0.0, 2.0, 8.0};
+  const std::vector<index_t> caps =
+      smoke ? std::vector<index_t>{1, 16} : std::vector<index_t>{1, 8, 32};
+
+  std::vector<Cell> cells;
+  bool bits_ok = true;
+  bool alloc_ok = true;
+  std::size_t frozen_bytes = 0;
+  // Server-busy seconds of the smoke gate's two sage configs (min of trials).
+  double busy_cap1 = 0.0, busy_coalesced = 0.0;
+
+  for (const SamplerKind kind : {SamplerKind::kGraphSage, SamplerKind::kLadies}) {
+    const std::string name = kind == SamplerKind::kGraphSage ? "sage" : "ladies";
+    ServeEngine engine(ds.graph, store, model, engine_config(kind), &grid);
+    const double mean_service = calibrate(engine, ds);
+    const std::vector<ServeRequest> trace =
+        make_trace(ds, n_requests, mean_service / load, /*seed=*/42);
+
+    for (const double wm : window_mults) {
+      for (const index_t cap : caps) {
+        if (cap == 1 && wm > 0.0) continue;  // window is moot at cap 1
+        const CoalescerConfig ccfg{wm * mean_service, cap};
+        const bool gate_cell =
+            kind == SamplerKind::kGraphSage &&
+            ((cap == 1 && wm == 0.0) || (cap == caps.back() && wm > 0.0));
+        const int trials = smoke && gate_cell ? 3 : 1;
+        SimResult sim;
+        double best_busy = 0.0;
+        for (int t = 0; t < trials; ++t) {
+          sim = run_sim(engine, trace, ccfg, /*keep_logits=*/gate_cell);
+          const double busy = engine.stats().service_seconds();
+          if (t == 0 || busy < best_busy) best_busy = busy;
+        }
+        char wlabel[16];
+        std::snprintf(wlabel, sizeof(wlabel), "w%g", wm);
+        cells.push_back(summarize(name, wlabel, cap, engine, sim));
+
+        if (smoke && gate_cell) {
+          if (cap == 1) {
+            busy_cap1 = best_busy;
+          } else {
+            busy_coalesced = best_busy;
+            // Gate (a): every prediction of the coalesced run matches the
+            // same request served alone on a fresh engine, bit for bit.
+            ServeEngine fresh(ds.graph, store, model, engine_config(kind),
+                              &grid);
+            for (std::size_t i = 0; i < std::min<std::size_t>(trace.size(), 12);
+                 ++i) {
+              if (!bits_equal(sim.logits.at(trace[i].id),
+                              fresh.serve_one(trace[i]))) {
+                bits_ok = false;
+              }
+            }
+            // Gate (b): trace-replay steady state. A fresh engine runs the
+            // recorded admission decisions once to reach its high-water
+            // mark, freezes, then replays the identical batches — frozen
+            // arena growth means a hot-path allocation leaked back in.
+            ServeEngine replay(ds.graph, store, model, engine_config(kind),
+                               &grid);
+            for (const CoalescedBatch& b : sim.batches) replay.serve(b);
+            replay.freeze();
+            frozen_bytes = replay.workspace()->frozen_bytes();
+            for (const CoalescedBatch& b : sim.batches) replay.serve(b);
+            alloc_ok = replay.workspace()->bytes_held() <= frozen_bytes;
+          }
+        }
+      }
+    }
+  }
+
+  bench::print_header(
+      "Online serving: coalescing window x batch cap x sampler (load " +
+      bench::fmt(load, 1) + ", " + std::to_string(n_requests) + " requests)");
+  bench::print_row({"sampler", "window", "cap", "mean_b", "p50_ms", "p95_ms",
+                    "p99_ms", "req_per_s"});
+  for (const Cell& c : cells) {
+    bench::print_row({c.sampler, c.window_label, std::to_string(c.cap),
+                      bench::fmt(c.mean_batch, 2), bench::fmt(c.p50 * 1e3, 3),
+                      bench::fmt(c.p95 * 1e3, 3), bench::fmt(c.p99 * 1e3, 3),
+                      bench::fmt(c.throughput(), 1)});
+  }
+
+  if (!json_path.empty()) {
+    bench::JsonWriter json(json_path, /*append=*/true);
+    if (!json.ok()) {
+      std::fprintf(stderr, "serve_latency: cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    const std::string bench_id =
+        std::string("serve_latency/sweep") + (smoke ? " (smoke)" : "");
+    for (const Cell& c : cells) {
+      json.row({{"bench", bench_id},
+                {"case", c.sampler + " " + c.window_label + " cap" +
+                             std::to_string(c.cap)},
+                {"sampler", c.sampler},
+                {"window", c.window_label},
+                {"cap", c.cap},
+                {"requests", static_cast<index_t>(c.requests)},
+                {"mean_batch", c.mean_batch},
+                {"p50_ms", c.p50 * 1e3},
+                {"p95_ms", c.p95 * 1e3},
+                {"p99_ms", c.p99 * 1e3},
+                {"queue_p99_ms", c.queue_p99 * 1e3},
+                {"throughput_rps", c.throughput()},
+                {"sampling_ms", c.sampling_s * 1e3},
+                {"fetch_ms", c.fetch_s * 1e3},
+                {"inference_ms", c.inference_s * 1e3}});
+    }
+    std::printf("JSON appended to %s\n", json_path.c_str());
+  }
+
+  if (smoke) {
+    if (!bits_ok) {
+      std::fprintf(stderr,
+                   "FAIL: coalesced predictions differ from serve-alone\n");
+      return 1;
+    }
+    if (!alloc_ok) {
+      std::fprintf(stderr,
+                   "FAIL: frozen workspace grew during trace replay\n");
+      return 1;
+    }
+    if (!(busy_coalesced < busy_cap1)) {
+      std::fprintf(stderr,
+                   "FAIL: coalescing (%.4fs busy) does not beat batch-size-1 "
+                   "(%.4fs busy) on server-busy throughput\n",
+                   busy_coalesced, busy_cap1);
+      return 1;
+    }
+    std::printf(
+        "SMOKE OK: bit-identical to serve-alone, steady state allocation-free "
+        "(frozen arena %zu bytes), coalescing %.4fs busy vs batch-1 %.4fs\n",
+        frozen_bytes, busy_coalesced, busy_cap1);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dms
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    }
+  }
+  return dms::run(smoke, json_path);
+}

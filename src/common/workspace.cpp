@@ -1,5 +1,7 @@
 #include "common/workspace.hpp"
 
+#include <string>
+
 namespace dms {
 
 namespace {
@@ -19,9 +21,37 @@ std::size_t WorkspaceSlot::bytes() const {
 }
 
 void Workspace::ensure_slots(std::size_t n) {
+#ifndef NDEBUG
+  check(!frozen_ || n <= slots_.size(),
+        "Workspace: steady-state violation — ensure_slots(" + std::to_string(n) +
+            ") would grow a frozen arena of " + std::to_string(slots_.size()) +
+            " slots (warm up with a representative workload before freezing)");
+#endif
   while (slots_.size() < n) {
     slots_.push_back(std::make_unique<WorkspaceSlot>());
   }
+}
+
+void Workspace::freeze() {
+  frozen_ = true;
+  frozen_bytes_ = bytes_held();
+  frozen_slots_ = slots_.size();
+}
+
+void Workspace::thaw() { frozen_ = false; }
+
+void Workspace::check_steady([[maybe_unused]] const char* where) const {
+#ifndef NDEBUG
+  if (!frozen_) return;
+  check(slots_.size() == frozen_slots_ && bytes_held() <= frozen_bytes_,
+        std::string(where) +
+            ": steady-state violation — frozen workspace grew from " +
+            std::to_string(frozen_bytes_) + " to " +
+            std::to_string(bytes_held()) + " bytes (slots " +
+            std::to_string(frozen_slots_) + " -> " +
+            std::to_string(slots_.size()) +
+            "); warm up with a representative workload before freezing");
+#endif
 }
 
 std::size_t Workspace::bytes_held() const {

@@ -68,6 +68,29 @@ class Workspace {
   /// (before a parallel region); existing slots keep their buffers.
   void ensure_slots(std::size_t n);
 
+  // --- steady-state mode (DESIGN.md §10) ------------------------------------
+  // Online serving warms the arena on a few representative requests, then
+  // freezes it: freeze() records the high-water mark (held bytes + slot
+  // count), and from then on the arena is expected never to grow — request
+  // handling after warmup is allocation-free. Debug builds enforce the
+  // contract: ensure_slots beyond the frozen count throws immediately, and
+  // check_steady() (called by the serve engine after each coalesced batch)
+  // throws if any buffer grew past the mark. Release builds skip the checks
+  // (an under-warmed arena degrades to growing silently, never to wrong
+  // results); callers can still compare bytes_held() against frozen_bytes().
+
+  /// Enters steady-state mode, recording the current high-water mark.
+  void freeze();
+  /// Leaves steady-state mode (e.g. before a reconfiguration).
+  void thaw();
+  bool frozen() const { return frozen_; }
+  /// Bytes held when freeze() was called (0 when never frozen).
+  std::size_t frozen_bytes() const { return frozen_bytes_; }
+
+  /// Debug-asserts the steady-state contract: no slot growth and no buffer
+  /// growth since freeze(). No-op when not frozen or in release builds.
+  void check_steady(const char* where) const;
+
   /// Slot i (i < num_slots()). Distinct slots may be used concurrently;
   /// references stay valid across ensure_slots growth.
   WorkspaceSlot& slot(std::size_t i) { return *slots_[i]; }
@@ -86,6 +109,9 @@ class Workspace {
   std::vector<std::unique_ptr<WorkspaceSlot>> slots_;
   std::vector<nnz_t> shared_prefix_;
   std::vector<index_t> shared_lookup_;
+  bool frozen_ = false;
+  std::size_t frozen_bytes_ = 0;
+  std::size_t frozen_slots_ = 0;
 };
 
 }  // namespace dms

@@ -43,6 +43,7 @@ class GraphSaintSampler : public MatrixSampler {
   std::map<std::string, double> op_time_breakdown() const override {
     return exec_.op_seconds();
   }
+  Workspace* scratch_workspace() const override { return &ws_; }
   const GraphSaintConfig& saint_config() const { return config_; }
 
   /// The compiled plan (tests / docs).

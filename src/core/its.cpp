@@ -63,12 +63,6 @@ void its_sample_one(const std::vector<value_t>& prefix, index_t s,
   }
 }
 
-void its_sample_one(const std::vector<value_t>& prefix, index_t s,
-                    std::uint64_t seed, std::vector<index_t>* out) {
-  std::vector<char> chosen;
-  its_sample_one(prefix, s, seed, out, chosen);
-}
-
 CsrMatrix its_sample_rows(const CsrMatrix& p, index_t s, const RowSeedFn& row_seed,
                           Workspace* ws_opt) {
   check(s >= 0, "its_sample_rows: negative s");

@@ -44,17 +44,10 @@ CsrMatrix its_sample_rows(const CsrMatrix& p, index_t s, std::uint64_t seed,
 /// zero unless m == 0), writing ascending indices to `out`. Exposed for
 /// direct reuse by the loop-based baselines and for unit testing.
 /// `chosen` is caller-provided scratch (resized/cleared here), so repeated
-/// calls reuse one allocation.
+/// calls reuse one allocation (the workspace-arena contract; the historical
+/// no-scratch shim is gone — every caller passes its own scratch).
 void its_sample_one(const std::vector<value_t>& prefix, index_t s,
                     std::uint64_t seed, std::vector<index_t>* out,
                     std::vector<char>& chosen);
-
-/// Deprecated shim keeping the original signature: routes through the
-/// caller-scratch overload with one per-call scratch allocation. Hot paths
-/// must pass their own `chosen` scratch (the workspace-arena contract).
-[[deprecated(
-    "pass caller-provided `chosen` scratch; this shim allocates per call")]]
-void its_sample_one(const std::vector<value_t>& prefix, index_t s,
-                    std::uint64_t seed, std::vector<index_t>* out);
 
 }  // namespace dms

@@ -39,6 +39,7 @@ class LaborSampler : public MatrixSampler {
   std::map<std::string, double> op_time_breakdown() const override {
     return exec_.op_seconds();
   }
+  Workspace* scratch_workspace() const override { return &ws_; }
 
   /// The compiled plan (tests / docs).
   const SamplePlan& plan() const { return exec_.plan(); }

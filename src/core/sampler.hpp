@@ -26,6 +26,8 @@
 
 namespace dms {
 
+class Workspace;
+
 /// One sampled layer of one minibatch.
 struct LayerSample {
   /// Bipartite adjacency: rows are this layer's output vertices, columns are
@@ -94,6 +96,12 @@ class MatrixSampler {
   /// staged pipeline diffs this across an epoch into
   /// EpochStats::sampler_ops.
   virtual std::map<std::string, double> op_time_breakdown() const { return {}; }
+
+  /// The sampler's private scratch arena, when it owns one (every
+  /// plan-backed sampler does). The serve engine (DESIGN.md §10) warms it
+  /// on representative requests and then freezes it, making steady-state
+  /// request handling allocation-free. nullptr = no reusable arena.
+  virtual Workspace* scratch_workspace() const { return nullptr; }
 };
 
 }  // namespace dms

@@ -102,6 +102,7 @@ class PartitionedSamplerBase : public MatrixSampler {
   std::map<std::string, double> op_time_breakdown() const override {
     return exec_.op_seconds();
   }
+  Workspace* scratch_workspace() const override { return &ws_; }
   const ProcessGrid& grid() const { return grid_; }
   const PartitionedSamplerOptions& options() const { return opts_; }
 

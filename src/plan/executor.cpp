@@ -620,6 +620,11 @@ std::vector<MinibatchSample> PlanExecutor::run(
     Workspace* ws, const std::vector<value_t>* global_weights) const {
   check(batches.size() == batch_ids.size(),
         "PlanExecutor::run: ids/batches mismatch");
+  // Serving's empty-coalescing-window case: a bulk of zero batches is a
+  // no-op, not an error (the stacked-frontier path otherwise accepts
+  // heterogeneous per-batch sizes — one-seed requests stack next to
+  // training-sized batches).
+  if (batches.empty()) return {};
   check(!plan_.distributed,
         "PlanExecutor::run: plan '" + plan_.name +
             "' is dist-lowered; use run_partitioned");

@@ -1,0 +1,66 @@
+#include "serve/coalescer.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace dms {
+
+void RequestQueue::push(ServeRequest r) {
+  check(r.arrival >= last_arrival_ || q_.empty(),
+        "RequestQueue::push: arrivals must be non-decreasing (got " +
+            std::to_string(r.arrival) + " after " +
+            std::to_string(last_arrival_) + ")");
+  last_arrival_ = r.arrival;
+  q_.push_back(std::move(r));
+}
+
+const ServeRequest& RequestQueue::front() const {
+  check(!q_.empty(), "RequestQueue::front: queue is empty");
+  return q_.front();
+}
+
+const ServeRequest& RequestQueue::at(std::size_t i) const {
+  check(i < q_.size(), "RequestQueue::at: index out of range");
+  return q_[i];
+}
+
+ServeRequest RequestQueue::pop_front() {
+  check(!q_.empty(), "RequestQueue::pop_front: queue is empty");
+  ServeRequest r = std::move(q_.front());
+  q_.pop_front();
+  return r;
+}
+
+Coalescer::Coalescer(CoalescerConfig cfg) : cfg_(cfg) {
+  check(cfg_.max_requests >= 1, "Coalescer: max_requests must be >= 1");
+  check(cfg_.window >= 0.0, "Coalescer: window must be non-negative");
+}
+
+void Coalescer::push(ServeRequest r) { queue_.push(std::move(r)); }
+
+double Coalescer::ready_at() const {
+  check(!queue_.empty(), "Coalescer::ready_at: no pending requests");
+  // Cap met: the batch closed the instant the cap-th request arrived.
+  if (queue_.size() >= static_cast<std::size_t>(cfg_.max_requests)) {
+    return queue_.at(static_cast<std::size_t>(cfg_.max_requests) - 1).arrival;
+  }
+  // Otherwise the oldest request's deadline bounds the wait.
+  return queue_.front().arrival + cfg_.window;
+}
+
+CoalescedBatch Coalescer::pop(double now) {
+  check(!queue_.empty(), "Coalescer::pop: no pending requests");
+  check(now >= ready_at() - 1e-12,
+        "Coalescer::pop: batch not ready (now " + std::to_string(now) +
+            " < ready_at " + std::to_string(ready_at()) + ")");
+  CoalescedBatch batch;
+  batch.formed_at = now;
+  while (!queue_.empty() &&
+         batch.requests.size() < static_cast<std::size_t>(cfg_.max_requests) &&
+         queue_.front().arrival <= now) {
+    batch.requests.push_back(queue_.pop_front());
+  }
+  return batch;
+}
+
+}  // namespace dms

@@ -41,6 +41,18 @@ class Dense {
   void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
   void zero() { fill(T{0}); }
 
+  /// Reshapes to rows × cols, reusing the existing storage capacity
+  /// (vector::resize never shrinks capacity) — the steady-state serving
+  /// gather buffer (§10) relies on this to stay allocation-free once grown
+  /// to its high-water mark. Element values are unspecified after a resize;
+  /// callers overwrite every row.
+  void resize(index_t rows, index_t cols) {
+    check(rows >= 0 && cols >= 0, "Dense::resize: negative dimensions");
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  }
+
   /// Frobenius norm.
   double norm() const {
     double s = 0;

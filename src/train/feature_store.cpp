@@ -47,6 +47,39 @@ void FeatureStore::pin_rows(const std::vector<index_t>& rows) {
   for (auto& c : caches_) c.pin(rows);
 }
 
+std::size_t FeatureStore::gather_rows(int rank, const std::vector<index_t>& wanted,
+                                      DenseF* out) {
+  check(out != nullptr, "FeatureStore::gather_rows: output buffer required");
+  check(rank >= 0 && static_cast<std::size_t>(rank) < caches_.size(),
+        "FeatureStore::gather_rows: rank out of range");
+  const DenseF& h = source();
+  const std::size_t row_bytes = static_cast<std::size_t>(dim_) * sizeof(float);
+  FeatureRowCache& cache = caches_[static_cast<std::size_t>(rank)];
+  const index_t my_row = part_.parts() == 0 ? 0 : rank % part_.parts();
+  out->resize(static_cast<index_t>(wanted.size()), dim_);
+  std::size_t miss_bytes = 0;
+  stats_.requested += wanted.size();
+  for (std::size_t q = 0; q < wanted.size(); ++q) {
+    const index_t v = wanted[q];
+    check(v >= 0 && v < part_.total(),
+          "FeatureStore::gather_rows: vertex " + std::to_string(v) +
+              " out of range");
+    std::copy(h.row(v), h.row(v) + dim_, out->row(static_cast<index_t>(q)));
+    if (part_.owner(v) == my_row) {
+      ++stats_.local;
+    } else if (cache.lookup(v)) {
+      ++stats_.hits;
+      stats_.bytes_saved += row_bytes;
+    } else {
+      ++stats_.misses;
+      miss_bytes += row_bytes;
+      cache.insert(v);
+    }
+  }
+  stats_.bytes_moved += miss_bytes;
+  return miss_bytes;
+}
+
 std::vector<DenseF> FeatureStore::fetch_all(
     Cluster& cluster, const std::vector<std::vector<index_t>>& wanted,
     const std::string& phase) {

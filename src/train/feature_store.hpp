@@ -69,6 +69,18 @@ class FeatureStore {
                                 const std::vector<std::vector<index_t>>& wanted,
                                 const std::string& phase = "fetch");
 
+  /// Serving-path gather (DESIGN.md §10): copies the requested rows into
+  /// `out` (reshaped to |wanted| × f, reusing its capacity — allocation-free
+  /// once grown to the steady-state high-water mark) as rank `rank`, with no
+  /// cluster and no collective: remote rows are classified through rank's
+  /// cache exactly as fetch_all would (hit / miss / local into
+  /// cache_stats(), misses become resident), but only modeled — serving
+  /// reads the canonical feature matrix directly. Returns the bytes a real
+  /// deployment would have pulled over the wire for this gather (the
+  /// miss payload).
+  std::size_t gather_rows(int rank, const std::vector<index_t>& wanted,
+                          DenseF* out);
+
   /// Pins `rows` resident in every rank's cache (kDegreePinned policy; the
   /// pipeline pins the top-degree vertices).
   void pin_rows(const std::vector<index_t>& rows);

@@ -251,19 +251,17 @@ TEST(ItsParallel, SharedWorkspaceReuseDoesNotChangeResults) {
   }
 }
 
-TEST(ItsSampleOne, ScratchOverloadMatchesShim) {
+TEST(ItsSampleOne, ScratchReuseAcrossSeedsIsStable) {
   std::vector<value_t> prefix{0.0};
   Pcg32 rng(55);
   for (int i = 0; i < 200; ++i) prefix.push_back(prefix.back() + rng.uniform());
-  std::vector<char> chosen;
+  std::vector<char> reused;
   for (std::uint64_t seed = 0; seed < 30; ++seed) {
-    std::vector<index_t> with_scratch, shim;
-    its_sample_one(prefix, 7, seed, &with_scratch, chosen);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    its_sample_one(prefix, 7, seed, &shim);
-#pragma GCC diagnostic pop
-    EXPECT_EQ(with_scratch, shim);
+    std::vector<index_t> with_reused, with_fresh;
+    std::vector<char> fresh;
+    its_sample_one(prefix, 7, seed, &with_reused, reused);
+    its_sample_one(prefix, 7, seed, &with_fresh, fresh);
+    EXPECT_EQ(with_reused, with_fresh);
   }
 }
 

@@ -17,26 +17,12 @@ std::vector<value_t> prefix_of(const std::vector<value_t>& weights) {
   return p;
 }
 
-/// All semantic tests drive the caller-scratch overload (the supported hot
-/// path); the deprecated no-scratch shim is exercised exactly once below.
+/// Test convenience over the caller-scratch API (the only its_sample_one;
+/// the historical no-scratch shim was removed).
 void sample_one(const std::vector<value_t>& prefix, index_t s,
                 std::uint64_t seed, std::vector<index_t>* out) {
   std::vector<char> chosen;
   its_sample_one(prefix, s, seed, out, chosen);
-}
-
-TEST(ItsSampleOne, DeprecatedNoScratchShimMatchesScratchPath) {
-  const std::vector<value_t> prefix{0.0, 1.0, 3.0, 4.5, 9.0, 9.5};
-  for (std::uint64_t seed = 0; seed < 16; ++seed) {
-    std::vector<index_t> with_scratch, via_shim;
-    std::vector<char> chosen;
-    its_sample_one(prefix, 3, seed, &with_scratch, chosen);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    its_sample_one(prefix, 3, seed, &via_shim);
-#pragma GCC diagnostic pop
-    EXPECT_EQ(with_scratch, via_shim);
-  }
 }
 
 TEST(ItsSampleOne, TakesAllWhenFewerThanS) {

@@ -1,0 +1,400 @@
+// Online serving subsystem (DESIGN.md §10): clock-driven coalescing policy,
+// the serving identity (a coalesced request's prediction is bit-identical to
+// the same request served alone, across every sampler kind and execution
+// mode), steady-state workspace stability after warmup, and the per-request
+// latency ledger.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "nn/model.hpp"
+#include "serve/engine.hpp"
+#include "test_util.hpp"
+
+namespace dms {
+namespace {
+
+Graph serve_graph() { return generate_erdos_renyi(120, 8.0, 41); }
+
+DenseF random_features(index_t rows, index_t dim, std::uint64_t seed) {
+  DenseF f(rows, dim);
+  Pcg32 rng(seed, 0xfea7);
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t j = 0; j < dim; ++j) {
+      f(i, j) = static_cast<float>(rng.uniform() - 0.5);
+    }
+  }
+  return f;
+}
+
+ModelConfig serve_model_config() {
+  ModelConfig mc;
+  mc.in_dim = 8;
+  mc.hidden = 16;
+  mc.num_classes = 4;
+  mc.num_layers = 2;
+  mc.seed = 11;
+  return mc;
+}
+
+ServeEngineConfig engine_config(SamplerKind kind, DistMode mode) {
+  ServeEngineConfig cfg;
+  cfg.sampler = kind;
+  cfg.mode = mode;
+  cfg.fanouts = {4, 3};
+  return cfg;
+}
+
+ServeRequest make_request(index_t id, std::vector<index_t> seeds,
+                          double arrival) {
+  ServeRequest r;
+  r.id = id;
+  r.seeds = std::move(seeds);
+  r.arrival = arrival;
+  return r;
+}
+
+/// Exact (bit-level) equality — the serving identity is not approximate.
+void expect_bit_identical(const DenseF& a, const DenseF& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      ASSERT_EQ(a(i, j), b(i, j)) << what << " at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing policy.
+
+TEST(RequestQueue, FifoAndMonotonicArrivals) {
+  RequestQueue q;
+  q.push(make_request(7, {0}, 1.0));
+  q.push(make_request(3, {1}, 1.0));  // equal arrivals are fine
+  q.push(make_request(9, {2}, 2.5));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.front().id, 7);
+  EXPECT_EQ(q.at(2).id, 9);
+  EXPECT_THROW(q.push(make_request(1, {3}, 2.0)), DmsError);  // clock ran back
+  EXPECT_EQ(q.pop_front().id, 7);
+  EXPECT_EQ(q.pop_front().id, 3);
+  EXPECT_EQ(q.pop_front().id, 9);
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW(q.pop_front(), DmsError);
+}
+
+TEST(Coalescer, EmptyWindowServesOnArrival) {
+  Coalescer c({/*window=*/0.0, /*max_requests=*/4});
+  c.push(make_request(0, {5}, 1.0));
+  EXPECT_DOUBLE_EQ(c.ready_at(), 1.0);  // no deadline slack: ready immediately
+  const CoalescedBatch b = c.pop(1.0);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.formed_at, 1.0);
+  EXPECT_TRUE(c.empty());
+  // Simultaneous arrivals still share a bulk even with window = 0.
+  c.push(make_request(1, {6}, 2.0));
+  c.push(make_request(2, {7}, 2.0));
+  EXPECT_EQ(c.pop(2.0).size(), 2u);
+}
+
+TEST(Coalescer, SingleRequestWaitsForItsDeadline) {
+  Coalescer c({/*window=*/0.5, /*max_requests=*/8});
+  c.push(make_request(4, {9}, 2.0));
+  EXPECT_DOUBLE_EQ(c.ready_at(), 2.5);
+  EXPECT_THROW(c.pop(2.2), DmsError);  // deadline not reached, cap not met
+  const CoalescedBatch b = c.pop(2.5);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.requests[0].id, 4);
+  EXPECT_DOUBLE_EQ(b.formed_at, 2.5);
+}
+
+TEST(Coalescer, CapOverflowSplitsIntoTwoBatches) {
+  Coalescer c({/*window=*/10.0, /*max_requests=*/2});
+  c.push(make_request(0, {1}, 0.0));
+  c.push(make_request(1, {2}, 0.1));
+  c.push(make_request(2, {3}, 0.2));
+  // Cap met at the second arrival; the batch closes there, not at the
+  // deadline.
+  EXPECT_DOUBLE_EQ(c.ready_at(), 0.1);
+  const CoalescedBatch first = c.pop(0.1);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first.requests[0].id, 0);
+  EXPECT_EQ(first.requests[1].id, 1);
+  // The overflow request runs in a second bulk round on its own deadline.
+  EXPECT_EQ(c.pending(), 1u);
+  EXPECT_DOUBLE_EQ(c.ready_at(), 10.2);
+  const CoalescedBatch second = c.pop(10.2);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second.requests[0].id, 2);
+}
+
+TEST(Coalescer, FutureArrivalsStayQueued) {
+  // pop(now) must not reach past the clock even when the cap allows it.
+  Coalescer c({/*window=*/0.0, /*max_requests=*/4});
+  c.push(make_request(0, {1}, 0.0));
+  c.push(make_request(1, {2}, 5.0));
+  EXPECT_DOUBLE_EQ(c.ready_at(), 0.0);
+  const CoalescedBatch b = c.pop(0.0);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.requests[0].id, 0);
+  EXPECT_EQ(c.pending(), 1u);
+}
+
+TEST(Coalescer, RejectsDegenerateConfigs) {
+  EXPECT_THROW(Coalescer({0.0, 0}), DmsError);
+  EXPECT_THROW(Coalescer({-1.0, 1}), DmsError);
+  Coalescer ok({0.0, 1});
+  EXPECT_THROW(ok.ready_at(), DmsError);  // empty queue has no next batch
+  EXPECT_THROW(ok.pop(0.0), DmsError);
+}
+
+// ---------------------------------------------------------------------------
+// Latency accounting.
+
+TEST(ServeStats, NearestRankPercentile) {
+  std::vector<double> sample;
+  for (int i = 10; i >= 1; --i) sample.push_back(i);  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(sample, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 95.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 99.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({3.5}, 99.0), 3.5);
+  EXPECT_THROW(percentile({}, 50.0), DmsError);
+}
+
+TEST(ServeStats, AggregatesBatchesAndRequests) {
+  ServeStats s;
+  BatchRecord b1;
+  b1.requests = 2;
+  b1.sampling = 0.10;
+  b1.fetch = 0.02;
+  b1.inference = 0.03;
+  RequestRecord r1{/*id=*/0, /*batch=*/2, /*wait=*/0.4, b1.service()};
+  RequestRecord r2{/*id=*/1, /*batch=*/2, /*wait=*/0.1, b1.service()};
+  s.record(b1, {r1, r2});
+  BatchRecord b2;
+  b2.requests = 1;
+  b2.sampling = 0.20;
+  RequestRecord r3{/*id=*/2, /*batch=*/1, /*wait=*/0.0, b2.service()};
+  s.record(b2, {r3});
+  EXPECT_EQ(s.num_batches(), 2u);
+  EXPECT_EQ(s.num_requests(), 3u);
+  EXPECT_DOUBLE_EQ(s.sampling_seconds(), 0.30);
+  EXPECT_DOUBLE_EQ(s.fetch_seconds(), 0.02);
+  EXPECT_DOUBLE_EQ(s.inference_seconds(), 0.03);
+  EXPECT_DOUBLE_EQ(s.queue_wait_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(s.service_seconds(), 0.35);
+  EXPECT_DOUBLE_EQ(s.mean_batch_size(), 1.5);
+  // Totals: r1 = 0.55, r2 = 0.25, r3 = 0.20 → p50 is the 2nd smallest.
+  EXPECT_DOUBLE_EQ(s.latency_percentile(50.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.queue_wait_percentile(100.0), 0.4);
+  // A batch whose request-record count disagrees is a ledger bug.
+  EXPECT_THROW(s.record(b1, {r1}), DmsError);
+  s.reset();
+  EXPECT_EQ(s.num_requests(), 0u);
+  EXPECT_DOUBLE_EQ(s.service_seconds(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// The serving identity: coalesced == individual, bit for bit, for every
+// sampler kind × execution mode. Request randomness derives from the request
+// id exactly as training batch randomness derives from the global batch id,
+// so batching composition cannot change any request's prediction.
+
+TEST(ServeEngine, CoalescedPredictionsMatchIndividualAcrossKindsAndModes) {
+  const Graph g = serve_graph();
+  const ProcessGrid grid(4, 2);
+  const DenseF feats = random_features(g.num_vertices(), 8, 77);
+  FeatureStore store(grid, feats);
+  const SageModel model(serve_model_config());
+
+  const std::vector<ServeRequest> requests = {
+      make_request(100, {3}, 0.0),                  // singleton seed
+      make_request(101, {10, 11, 12, 13, 14}, 0.2), // mid-size
+      make_request(102, {55, 99}, 0.4),             // heterogeneous sizes mix
+  };
+  for (const SamplerKind kind :
+       {SamplerKind::kGraphSage, SamplerKind::kLadies, SamplerKind::kFastGcn,
+        SamplerKind::kLabor}) {
+    for (const DistMode mode :
+         {DistMode::kReplicated, DistMode::kPartitioned}) {
+      ServeEngine engine(g, store, model, engine_config(kind, mode), &grid);
+      CoalescedBatch batch;
+      batch.requests = requests;
+      batch.formed_at = 0.4;
+      const ServeBatchResult coalesced = engine.serve(batch);
+      ASSERT_EQ(coalesced.logits.size(), requests.size());
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        ASSERT_EQ(coalesced.logits[i].rows(),
+                  static_cast<index_t>(requests[i].seeds.size()));
+        const DenseF alone = engine.serve_one(requests[i]);
+        expect_bit_identical(coalesced.logits[i], alone,
+                             std::string(to_string(kind)) + "/" +
+                                 to_string(mode) + " request " +
+                                 std::to_string(requests[i].id));
+      }
+    }
+  }
+}
+
+TEST(ServeEngine, BatchCompositionDoesNotChangePredictions) {
+  // The same request served inside two differently-composed batches (and by
+  // a freshly built engine) yields identical bits: batching is purely a
+  // throughput decision.
+  const Graph g = serve_graph();
+  const ProcessGrid grid(4, 2);
+  const DenseF feats = random_features(g.num_vertices(), 8, 78);
+  FeatureStore store(grid, feats);
+  const SageModel model(serve_model_config());
+  const auto cfg = engine_config(SamplerKind::kLadies, DistMode::kReplicated);
+
+  const ServeRequest probe = make_request(500, {7, 8, 9}, 1.0);
+  ServeEngine a(g, store, model, cfg, &grid);
+  CoalescedBatch mixed;
+  mixed.requests = {make_request(1, {0, 1}, 0.9), probe,
+                    make_request(2, {2}, 1.0)};
+  mixed.formed_at = 1.0;
+  const DenseF in_mixed = a.serve(mixed).logits[1];
+
+  ServeEngine b(g, store, model, cfg, &grid);
+  const DenseF alone = b.serve_one(probe);
+  expect_bit_identical(in_mixed, alone, "probe across batch compositions");
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state workspace contract.
+
+TEST(ServeEngine, TraceReplayIsAllocationFreeAfterFreeze) {
+  const Graph g = serve_graph();
+  const ProcessGrid grid(4, 2);
+  const DenseF feats = random_features(g.num_vertices(), 8, 79);
+  FeatureStore store(grid, feats);
+  const SageModel model(serve_model_config());
+  ServeEngine engine(
+      g, store, model,
+      engine_config(SamplerKind::kGraphSage, DistMode::kReplicated), &grid);
+
+  // A short trace of coalesced batches (the replay-warmup pattern: run the
+  // trace once unfrozen to reach the high-water mark, freeze, replay).
+  std::vector<CoalescedBatch> trace;
+  {
+    CoalescedBatch b1;
+    b1.requests = {make_request(0, {1, 2, 3}, 0.0), make_request(1, {40}, 0.0)};
+    CoalescedBatch b2;
+    b2.requests = {make_request(2, {5, 6, 7, 8, 9, 10}, 0.1)};
+    b2.formed_at = 0.1;
+    CoalescedBatch b3;
+    b3.requests = {make_request(3, {60, 61}, 0.2),
+                   make_request(4, {70, 71, 72}, 0.2)};
+    b3.formed_at = 0.2;
+    trace = {b1, b2, b3};
+  }
+  std::vector<std::vector<DenseF>> warm_logits;
+  for (const CoalescedBatch& b : trace) {
+    warm_logits.push_back(engine.serve(b).logits);
+  }
+  engine.freeze();
+  EXPECT_TRUE(engine.warmed());
+  const Workspace* ws = engine.workspace();
+  ASSERT_NE(ws, nullptr);
+  EXPECT_TRUE(ws->frozen());
+  const std::size_t frozen_bytes = ws->frozen_bytes();
+  EXPECT_EQ(ws->bytes_held(), frozen_bytes);
+
+  // Replaying the identical trace makes bit-identical kernel calls, so the
+  // frozen arena must not grow — and the predictions must not change.
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const ServeBatchResult replay = engine.serve(trace[t]);
+    ASSERT_EQ(replay.logits.size(), warm_logits[t].size());
+    for (std::size_t i = 0; i < replay.logits.size(); ++i) {
+      expect_bit_identical(replay.logits[i], warm_logits[t][i],
+                           "replay batch " + std::to_string(t));
+    }
+    EXPECT_LE(ws->bytes_held(), frozen_bytes) << "batch " << t;
+  }
+}
+
+TEST(ServeEngine, WarmupFreezesAndClearsStats) {
+  const Graph g = serve_graph();
+  const ProcessGrid grid(4, 2);
+  const DenseF feats = random_features(g.num_vertices(), 8, 80);
+  FeatureStore store(grid, feats);
+  const SageModel model(serve_model_config());
+  ServeEngine engine(
+      g, store, model,
+      engine_config(SamplerKind::kFastGcn, DistMode::kReplicated), &grid);
+  EXPECT_FALSE(engine.warmed());
+  engine.warmup({{0, 1, 2, 3}, {10, 11}});
+  EXPECT_TRUE(engine.warmed());
+  EXPECT_TRUE(engine.workspace()->frozen());
+  // Warmup traffic never leaks into the serving ledger.
+  EXPECT_EQ(engine.stats().num_requests(), 0u);
+  engine.serve_one(make_request(0, {2, 3}, 0.0));
+  EXPECT_EQ(engine.stats().num_requests(), 1u);
+  EXPECT_EQ(engine.stats().num_batches(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine accounting and validation.
+
+TEST(ServeEngine, RecordsQueueWaitFromArrivalToBatchFormation) {
+  const Graph g = serve_graph();
+  const ProcessGrid grid(4, 2);
+  const DenseF feats = random_features(g.num_vertices(), 8, 81);
+  FeatureStore store(grid, feats);
+  const SageModel model(serve_model_config());
+  ServeEngine engine(
+      g, store, model,
+      engine_config(SamplerKind::kGraphSage, DistMode::kReplicated), &grid);
+  CoalescedBatch batch;
+  batch.requests = {make_request(0, {1}, 1.0), make_request(1, {2}, 2.5)};
+  batch.formed_at = 3.0;
+  engine.serve(batch);
+  const auto& recs = engine.stats().requests();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_NEAR(recs[0].queue_wait, 2.0, 1e-12);
+  EXPECT_NEAR(recs[1].queue_wait, 0.5, 1e-12);
+  EXPECT_EQ(recs[0].batch_size, 2u);
+  // Requests in one bulk complete together: same service latency, and the
+  // batch's phase times compose it exactly.
+  EXPECT_DOUBLE_EQ(recs[0].service, recs[1].service);
+  const auto& batches = engine.stats().batches();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_DOUBLE_EQ(batches[0].service(), recs[0].service);
+  EXPECT_GT(engine.stats().p50(), 0.0);
+  EXPECT_GE(engine.stats().p99(), engine.stats().p50());
+}
+
+TEST(ServeEngine, RejectsMalformedBatchesAndConfigs) {
+  const Graph g = serve_graph();
+  const ProcessGrid grid(4, 2);
+  const DenseF feats = random_features(g.num_vertices(), 8, 82);
+  FeatureStore store(grid, feats);
+  const SageModel model(serve_model_config());
+  ServeEngine engine(
+      g, store, model,
+      engine_config(SamplerKind::kGraphSage, DistMode::kReplicated), &grid);
+  EXPECT_THROW(engine.serve(CoalescedBatch{}), DmsError);
+  CoalescedBatch no_seeds;
+  no_seeds.requests = {make_request(0, {}, 0.0)};
+  EXPECT_THROW(engine.serve(no_seeds), DmsError);
+  CoalescedBatch time_travel;
+  time_travel.requests = {make_request(0, {1}, 5.0)};
+  time_travel.formed_at = 1.0;  // formed before its member arrived
+  EXPECT_THROW(engine.serve(time_travel), DmsError);
+  EXPECT_THROW(engine.warmup({}), DmsError);
+
+  // Fanout depth must match the model; feature dim must match in_dim.
+  auto cfg = engine_config(SamplerKind::kGraphSage, DistMode::kReplicated);
+  cfg.fanouts = {4, 3, 2};
+  EXPECT_THROW(ServeEngine(g, store, model, cfg, &grid), DmsError);
+}
+
+}  // namespace
+}  // namespace dms
