@@ -13,6 +13,28 @@ std::size_t vec_bytes(const std::vector<T>& v) {
 
 }  // namespace
 
+std::vector<index_t> WalkScratch::take_list() {
+  if (list_pool_.empty()) return {};
+  std::vector<index_t> v = std::move(list_pool_.back());
+  list_pool_.pop_back();
+  v.clear();
+  return v;
+}
+
+void WalkScratch::put_list(std::vector<index_t>&& v) {
+  list_pool_.push_back(std::move(v));
+}
+
+std::size_t WalkScratch::bytes() const {
+  std::size_t b = vec_bytes(cur) + vec_bytes(nxt) + vec_bytes(prev) +
+                  vec_bytes(bof) + vec_bytes(off) + vec_bytes(order) +
+                  vec_bytes(bucket_start) + vec_bytes(gcur) + vec_bytes(gbof) +
+                  vec_bytes(glrow) + vec_bytes(gprev) + vec_bytes(raw) +
+                  vec_bytes(list_pool_);
+  for (const auto& l : list_pool_) b += vec_bytes(l);
+  return b;
+}
+
 std::size_t WorkspaceSlot::bytes() const {
   return vec_bytes(row_nnz) + vec_bytes(colidx) + vec_bytes(vals) +
          vec_bytes(mark) + vec_bytes(touched) + vec_bytes(acc) +
@@ -55,7 +77,8 @@ void Workspace::check_steady([[maybe_unused]] const char* where) const {
 }
 
 std::size_t Workspace::bytes_held() const {
-  std::size_t b = vec_bytes(shared_prefix_) + vec_bytes(shared_lookup_);
+  std::size_t b = vec_bytes(shared_prefix_) + vec_bytes(shared_lookup_) +
+                  walk_.bytes();
   for (const auto& s : slots_) b += s->bytes();
   return b;
 }

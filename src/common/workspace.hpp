@@ -37,6 +37,43 @@ namespace dms {
 /// user but deliberately generic: sequential kernels may reuse any buffer
 /// whose element type fits (ITS uses `vals` for row prefix sums, `touched`
 /// for picked indices, `colidx` for staged output columns).
+/// Walk-engine scratch (DESIGN.md §11): the flat walker-state arrays of the
+/// fused walk kernel plus a pool of per-batch id-list buffers that the plan
+/// executor swaps into a walk plan's persistent slots (frontier / visited /
+/// prev) for the duration of a run. Both live in the sampler's Workspace so
+/// steady-state walk epochs — and frozen serving — allocate only results:
+/// the flats grow to the walker high-water mark once, and the list pool
+/// retains each per-batch vector's capacity between runs.
+struct WalkScratch {
+  // Flat per-walker state, compacted every round (fused engine).
+  std::vector<index_t> cur;    ///< current vertex (engine id space)
+  std::vector<index_t> nxt;    ///< picked next vertex or -1 (dead)
+  std::vector<index_t> prev;   ///< previous vertex (second-order walks)
+  std::vector<index_t> bof;    ///< owning batch of each walker
+  std::vector<index_t> off;    ///< per-batch walker offsets (batches + 1)
+  std::vector<index_t> order;  ///< bucket-sorted processing order
+  std::vector<index_t> bucket_start;  ///< counting-sort bucket cursors
+  // Walker state gathered into bucket order (cur / batch / seed row / prev):
+  // the bucketed pick loop streams these sequentially so its only random
+  // memory traffic is the adjacency rows the bucketing keeps cache-resident.
+  std::vector<index_t> gcur;
+  std::vector<index_t> gbof;
+  std::vector<index_t> glrow;
+  std::vector<index_t> gprev;
+  std::vector<value_t> raw;    ///< biased/weighted per-candidate row values
+
+  /// Checks out a cleared list buffer (pool hit keeps its capacity).
+  std::vector<index_t> take_list();
+  /// Returns a list buffer to the pool, retaining its capacity.
+  void put_list(std::vector<index_t>&& v);
+
+  /// Bytes currently reserved (flats + pooled lists).
+  std::size_t bytes() const;
+
+ private:
+  std::vector<std::vector<index_t>> list_pool_;
+};
+
 struct WorkspaceSlot {
   // Staged per-block output (SpGEMM numeric phase, ITS fill pass).
   std::vector<nnz_t> row_nnz;
@@ -101,6 +138,10 @@ class Workspace {
   std::vector<nnz_t>& shared_prefix() { return shared_prefix_; }
   std::vector<index_t>& shared_lookup() { return shared_lookup_; }
 
+  /// Walk-engine scratch (same one-invocation-at-a-time contract; the walk
+  /// kernel is serial, so no per-slot isolation is needed).
+  WalkScratch& walk_scratch() { return walk_; }
+
   /// Total bytes held across shared buffers and all slots (observability;
   /// the steady-state value is the workload's scratch high-water mark).
   std::size_t bytes_held() const;
@@ -109,6 +150,7 @@ class Workspace {
   std::vector<std::unique_ptr<WorkspaceSlot>> slots_;
   std::vector<nnz_t> shared_prefix_;
   std::vector<index_t> shared_lookup_;
+  WalkScratch walk_;
   bool frozen_ = false;
   std::size_t frozen_bytes_ = 0;
   std::size_t frozen_slots_ = 0;

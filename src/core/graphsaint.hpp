@@ -27,6 +27,11 @@ struct GraphSaintConfig {
   std::uint64_t seed = 1;
 };
 
+/// MatrixSampler-interface adapter shared by the walk samplers (GraphSAINT,
+/// node2vec, and their partitioned forms): one unit fanout per model layer —
+/// the walk length is the plan's explicit round count, not a fanout.
+SamplerConfig walk_adapter_config(index_t model_layers, std::uint64_t seed);
+
 class GraphSaintSampler : public MatrixSampler {
  public:
   GraphSaintSampler(const Graph& graph, GraphSaintConfig config);
@@ -46,12 +51,18 @@ class GraphSaintSampler : public MatrixSampler {
   Workspace* scratch_workspace() const override { return &ws_; }
   const GraphSaintConfig& saint_config() const { return config_; }
 
+  /// Fused walk-engine controls (forwarded to the executor; takes effect on
+  /// the next sample_bulk). set_walk_options({.fused = false}) forces the
+  /// op-by-op matrix path — bit-identical, used by tests and micro_walk.
+  void set_walk_options(const WalkEngineOptions& opts) {
+    exec_.set_walk_options(opts);
+  }
+  const PlanExecutor& executor() const { return exec_; }
+
   /// The compiled plan (tests / docs).
   const SamplePlan& plan() const { return exec_.plan(); }
 
  private:
-  static SamplerConfig adapter_config(const GraphSaintConfig& config);
-
   const Graph& graph_;
   GraphSaintConfig config_;
   PlanExecutor exec_;

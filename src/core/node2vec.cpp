@@ -1,23 +1,18 @@
-#include "core/graphsaint.hpp"
+#include "core/node2vec.hpp"
 
+#include "core/graphsaint.hpp"  // walk_adapter_config
 #include "plan/builders.hpp"
 
 namespace dms {
 
-SamplerConfig walk_adapter_config(index_t model_layers, std::uint64_t seed) {
-  SamplerConfig cfg;
-  cfg.fanouts.assign(static_cast<std::size_t>(model_layers), 1);
-  cfg.seed = seed;
-  return cfg;
-}
-
-GraphSaintSampler::GraphSaintSampler(const Graph& graph, GraphSaintConfig config)
+Node2VecSampler::Node2VecSampler(const Graph& graph, Node2VecConfig config)
     : graph_(graph),
       config_(config),
-      exec_(build_saint_plan(config.walk_length, config.model_layers),
+      exec_(build_node2vec_plan(config.walk_length, config.model_layers,
+                                config.p, config.q),
             walk_adapter_config(config.model_layers, config.seed)) {}
 
-std::vector<MinibatchSample> GraphSaintSampler::sample_bulk(
+std::vector<MinibatchSample> Node2VecSampler::sample_bulk(
     const std::vector<std::vector<index_t>>& batches,
     const std::vector<index_t>& batch_ids, std::uint64_t epoch_seed) const {
   check(batches.size() == batch_ids.size(), "sample_bulk: ids/batches mismatch");

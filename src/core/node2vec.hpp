@@ -1,0 +1,65 @@
+// Matrix-based node2vec sampler (Grover & Leskovec 2016), compiled to a
+// walk-shaped sampling plan (DESIGN.md §9, §11).
+//
+// node2vec is GraphSAINT-RW with a second-order transition kernel: before
+// normalization, each candidate next-vertex is reweighted by 1/p when it is
+// the walker's previous vertex (return), 1 when it neighbors the previous
+// vertex (BFS-like), and 1/q otherwise (DFS-like). In the plan IR that is
+// one extra op — kWalkBias between the probability SpGEMM and NORM — plus a
+// persistent prev slot that kWalkAdvance maintains. Everything else
+// (seeding, ITS with s = 1, the induced-subgraph epilogue) is the saint_rw
+// machinery, so with p = q = 1 the sampler reproduces GraphSAINT's walks
+// bit-for-bit. Replicated runs fuse through the walk engine (src/walk);
+// partitioned runs lower like every other plan.
+#pragma once
+
+#include "common/workspace.hpp"
+#include "core/sampler.hpp"
+#include "plan/executor.hpp"
+
+namespace dms {
+
+struct Node2VecConfig {
+  index_t walk_length = 2;   ///< steps per random walk
+  index_t model_layers = 1;  ///< how many (identical) layers to emit
+  value_t p = 1.0;           ///< return parameter (1/p on backtracking)
+  value_t q = 1.0;           ///< in-out parameter (1/q on non-neighbors)
+  std::uint64_t seed = 1;
+};
+
+class Node2VecSampler : public MatrixSampler {
+ public:
+  Node2VecSampler(const Graph& graph, Node2VecConfig config);
+
+  /// batches[i] holds the walk roots of minibatch i; the sample covers the
+  /// induced vertex set of the biased walks (the saint_rw convention).
+  std::vector<MinibatchSample> sample_bulk(
+      const std::vector<std::vector<index_t>>& batches,
+      const std::vector<index_t>& batch_ids,
+      std::uint64_t epoch_seed) const override;
+
+  const SamplerConfig& config() const override { return exec_.config(); }
+  std::map<std::string, double> op_time_breakdown() const override {
+    return exec_.op_seconds();
+  }
+  Workspace* scratch_workspace() const override { return &ws_; }
+  const Node2VecConfig& node2vec_config() const { return config_; }
+
+  /// Fused walk-engine controls (forwarded to the executor; takes effect on
+  /// the next sample_bulk).
+  void set_walk_options(const WalkEngineOptions& opts) {
+    exec_.set_walk_options(opts);
+  }
+  const PlanExecutor& executor() const { return exec_; }
+
+  /// The compiled plan (tests / docs).
+  const SamplePlan& plan() const { return exec_.plan(); }
+
+ private:
+  const Graph& graph_;
+  Node2VecConfig config_;
+  PlanExecutor exec_;
+  mutable Workspace ws_;
+};
+
+}  // namespace dms

@@ -1,0 +1,71 @@
+// PinSAGE-style importance sampling (Ying et al. 2018) as a pure plan.
+//
+// PinSAGE defines a vertex's neighborhood not by adjacency but by visit
+// importance: short random walks from v score every vertex they touch, and
+// the top-T visited vertices become v's (weighted) neighbors. Here that is
+// a *construction-time* transform — pinsage_importance_graph simulates the
+// walks once and emits a weighted adjacency whose row v holds the top-T
+// visited vertices with weights proportional to visit counts — and the
+// sampler is then literally the GraphSAGE plan (build_pinsage_plan) run
+// against that graph: the probability SpGEMM reads the importance weights,
+// NORM turns them into a distribution, and ITS draws the weighted fanout.
+// No new op kinds, so the plan lowers to the 1.5D collectives unchanged and
+// the partitioned sampler exists for free.
+//
+// Each Q row has a single nonzero, so every probability entry is a
+// single-term product — no reduction-order sensitivity, and the partitioned
+// run is bit-identical to the replicated one (the determinism contract).
+#pragma once
+
+#include "common/workspace.hpp"
+#include "core/sampler.hpp"
+#include "plan/executor.hpp"
+
+namespace dms {
+
+struct PinSageConfig {
+  index_t num_walks = 16;     ///< simulated walks per vertex
+  index_t walk_length = 2;    ///< steps per simulated walk
+  index_t top_neighbors = 8;  ///< T: visited vertices kept per row
+  std::uint64_t seed = 1;
+};
+
+/// The walk-derived importance graph: row v holds the top-T vertices by
+/// visit count (ties broken by ascending id, v itself excluded) over
+/// num_walks simulated walks of walk_length uniform steps from v, with
+/// weights count / total over the kept set, columns ascending. Rows whose
+/// walks visit nothing (isolated vertices) are empty. Deterministic in
+/// cfg.seed.
+Graph pinsage_importance_graph(const Graph& graph, const PinSageConfig& cfg);
+
+class PinSageSampler : public MatrixSampler {
+ public:
+  /// `config` supplies the per-layer fanouts (like GraphSAGE); `pcfg` the
+  /// walk simulation. The weighted graph is built once here and owned.
+  PinSageSampler(const Graph& graph, SamplerConfig config,
+                 PinSageConfig pcfg = {});
+
+  std::vector<MinibatchSample> sample_bulk(
+      const std::vector<std::vector<index_t>>& batches,
+      const std::vector<index_t>& batch_ids,
+      std::uint64_t epoch_seed) const override;
+
+  const SamplerConfig& config() const override { return exec_.config(); }
+  std::map<std::string, double> op_time_breakdown() const override {
+    return exec_.op_seconds();
+  }
+  Workspace* scratch_workspace() const override { return &ws_; }
+  const PinSageConfig& pinsage_config() const { return config_; }
+
+  /// The owned importance graph the plan samples from (tests / docs).
+  const Graph& importance_graph() const { return weighted_; }
+  const SamplePlan& plan() const { return exec_.plan(); }
+
+ private:
+  Graph weighted_;
+  PinSageConfig config_;
+  PlanExecutor exec_;
+  mutable Workspace ws_;
+};
+
+}  // namespace dms

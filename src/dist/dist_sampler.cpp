@@ -101,4 +101,36 @@ PartitionedLaborSampler::PartitionedLaborSampler(const Graph& graph,
     : PartitionedSamplerBase(graph, grid, std::move(config), opts,
                              build_labor_plan(), "PartitionedLaborSampler") {}
 
+PartitionedSaintSampler::PartitionedSaintSampler(const Graph& graph,
+                                                 const ProcessGrid& grid,
+                                                 GraphSaintConfig config,
+                                                 PartitionedSamplerOptions opts)
+    : PartitionedSamplerBase(
+          graph, grid, walk_adapter_config(config.model_layers, config.seed),
+          opts, build_saint_plan(config.walk_length, config.model_layers),
+          "PartitionedSaintSampler"),
+      saint_config_(config) {}
+
+PartitionedNode2VecSampler::PartitionedNode2VecSampler(
+    const Graph& graph, const ProcessGrid& grid, Node2VecConfig config,
+    PartitionedSamplerOptions opts)
+    : PartitionedSamplerBase(
+          graph, grid, walk_adapter_config(config.model_layers, config.seed),
+          opts,
+          build_node2vec_plan(config.walk_length, config.model_layers, config.p,
+                              config.q),
+          "PartitionedNode2VecSampler"),
+      n2v_config_(config) {}
+
+PartitionedPinSageSampler::PartitionedPinSageSampler(
+    const Graph& graph, const ProcessGrid& grid, SamplerConfig config,
+    PinSageConfig pcfg, PartitionedSamplerOptions opts)
+    // The holder base is initialized first, so the weighted graph exists
+    // before PartitionedSamplerBase partitions and borrows it.
+    : PinSageGraphHolder{pinsage_importance_graph(graph, pcfg)},
+      PartitionedSamplerBase(this->weighted, grid, std::move(config), opts,
+                             build_pinsage_plan(),
+                             "PartitionedPinSageSampler"),
+      pinsage_config_(pcfg) {}
+
 }  // namespace dms

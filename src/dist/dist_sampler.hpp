@@ -25,6 +25,9 @@
 #include <vector>
 
 #include "comm/cluster.hpp"
+#include "core/graphsaint.hpp"  // GraphSaintConfig / walk_adapter_config
+#include "core/node2vec.hpp"    // Node2VecConfig
+#include "core/pinsage.hpp"     // PinSageConfig / pinsage_importance_graph
 #include "core/sampler.hpp"
 #include "dist/spgemm_15d.hpp"
 #include "plan/executor.hpp"
@@ -168,6 +171,58 @@ class PartitionedLaborSampler : public PartitionedSamplerBase {
   PartitionedLaborSampler(const Graph& graph, const ProcessGrid& grid,
                           SamplerConfig config,
                           PartitionedSamplerOptions opts = {});
+};
+
+/// Graph Partitioned GraphSAINT-RW: the dist-lowered build_saint_plan. The
+/// walk ops are row-local; the induced-subgraph epilogue assembles visited
+/// rows from their owner blocks (intra-column fetches, accounted).
+class PartitionedSaintSampler : public PartitionedSamplerBase {
+ public:
+  PartitionedSaintSampler(const Graph& graph, const ProcessGrid& grid,
+                          GraphSaintConfig config,
+                          PartitionedSamplerOptions opts = {});
+
+  const GraphSaintConfig& saint_config() const { return saint_config_; }
+
+ private:
+  GraphSaintConfig saint_config_;
+};
+
+/// Graph Partitioned node2vec: the dist-lowered build_node2vec_plan (the
+/// kWalkBias membership test fetches prev rows from their owner blocks).
+class PartitionedNode2VecSampler : public PartitionedSamplerBase {
+ public:
+  PartitionedNode2VecSampler(const Graph& graph, const ProcessGrid& grid,
+                             Node2VecConfig config,
+                             PartitionedSamplerOptions opts = {});
+
+  const Node2VecConfig& node2vec_config() const { return n2v_config_; }
+
+ private:
+  Node2VecConfig n2v_config_;
+};
+
+/// Owns the walk-derived importance graph so it is constructed before (and
+/// outlives) the PartitionedSamplerBase that borrows it.
+struct PinSageGraphHolder {
+  Graph weighted;
+};
+
+/// Graph Partitioned PinSAGE: the dist-lowered build_pinsage_plan over the
+/// walk-derived weighted adjacency (built once at construction, block-row
+/// partitioned like any other graph).
+class PartitionedPinSageSampler : private PinSageGraphHolder,
+                                  public PartitionedSamplerBase {
+ public:
+  PartitionedPinSageSampler(const Graph& graph, const ProcessGrid& grid,
+                            SamplerConfig config, PinSageConfig pcfg = {},
+                            PartitionedSamplerOptions opts = {});
+
+  const PinSageConfig& pinsage_config() const { return pinsage_config_; }
+  const Graph& importance_graph() const { return weighted; }
+
+ private:
+  PinSageConfig pinsage_config_;
 };
 
 }  // namespace dms

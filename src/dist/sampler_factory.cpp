@@ -1,9 +1,14 @@
 #include "dist/sampler_factory.hpp"
 
+#include <algorithm>
+
 #include "core/fastgcn.hpp"
 #include "core/graphsage.hpp"
+#include "core/graphsaint.hpp"
 #include "core/labor.hpp"
 #include "core/ladies.hpp"
+#include "core/node2vec.hpp"
+#include "core/pinsage.hpp"
 
 namespace dms {
 
@@ -17,6 +22,12 @@ std::string to_string(SamplerKind kind) {
       return "fastgcn";
     case SamplerKind::kLabor:
       return "labor";
+    case SamplerKind::kGraphSaint:
+      return "graphsaint";
+    case SamplerKind::kNode2Vec:
+      return "node2vec";
+    case SamplerKind::kPinSage:
+      return "pinsage";
   }
   return "unknown";
 }
@@ -47,6 +58,36 @@ std::unique_ptr<MatrixSampler> make_partitioned(const Graph& graph,
                                                ctx.config, ctx.part_opts);
   sampler->bind_cluster(ctx.cluster);
   return sampler;
+}
+
+// The walk samplers take algorithm-specific configs; the factory maps the
+// shared SamplerContext onto them (model depth from num_layers(), walk
+// parameters from ctx.walk).
+GraphSaintConfig saint_config_from(const SamplerContext& ctx) {
+  GraphSaintConfig cfg;
+  cfg.walk_length = ctx.walk.walk_length;
+  cfg.model_layers = std::max<index_t>(1, ctx.config.num_layers());
+  cfg.seed = ctx.config.seed;
+  return cfg;
+}
+
+Node2VecConfig node2vec_config_from(const SamplerContext& ctx) {
+  Node2VecConfig cfg;
+  cfg.walk_length = ctx.walk.walk_length;
+  cfg.model_layers = std::max<index_t>(1, ctx.config.num_layers());
+  cfg.p = ctx.walk.p;
+  cfg.q = ctx.walk.q;
+  cfg.seed = ctx.config.seed;
+  return cfg;
+}
+
+PinSageConfig pinsage_config_from(const SamplerContext& ctx) {
+  PinSageConfig cfg;
+  cfg.num_walks = ctx.walk.pinsage_walks;
+  cfg.walk_length = ctx.walk.walk_length;
+  cfg.top_neighbors = ctx.walk.pinsage_top;
+  cfg.seed = ctx.config.seed;
+  return cfg;
 }
 
 }  // namespace
@@ -92,6 +133,51 @@ SamplerRegistry::SamplerRegistry() {
                      return make_partitioned<PartitionedLaborSampler>(
                          g, ctx, "partitioned labor");
                    });
+  // Walk-based kinds (DESIGN.md §11): graph-wise GraphSAINT, second-order
+  // node2vec, and PinSAGE importance sampling — all pure plans, so both
+  // modes come from the same definitions.
+  register_creator(SamplerKind::kGraphSaint, DistMode::kReplicated,
+                   [](const Graph& g, const SamplerContext& ctx) {
+                     return std::make_unique<GraphSaintSampler>(
+                         g, saint_config_from(ctx));
+                   });
+  register_creator(
+      SamplerKind::kGraphSaint, DistMode::kPartitioned,
+      [](const Graph& g, const SamplerContext& ctx) {
+        auto sampler = std::make_unique<PartitionedSaintSampler>(
+            g, require_grid(ctx, "partitioned graphsaint"),
+            saint_config_from(ctx), ctx.part_opts);
+        sampler->bind_cluster(ctx.cluster);
+        return sampler;
+      });
+  register_creator(SamplerKind::kNode2Vec, DistMode::kReplicated,
+                   [](const Graph& g, const SamplerContext& ctx) {
+                     return std::make_unique<Node2VecSampler>(
+                         g, node2vec_config_from(ctx));
+                   });
+  register_creator(
+      SamplerKind::kNode2Vec, DistMode::kPartitioned,
+      [](const Graph& g, const SamplerContext& ctx) {
+        auto sampler = std::make_unique<PartitionedNode2VecSampler>(
+            g, require_grid(ctx, "partitioned node2vec"),
+            node2vec_config_from(ctx), ctx.part_opts);
+        sampler->bind_cluster(ctx.cluster);
+        return sampler;
+      });
+  register_creator(SamplerKind::kPinSage, DistMode::kReplicated,
+                   [](const Graph& g, const SamplerContext& ctx) {
+                     return std::make_unique<PinSageSampler>(
+                         g, ctx.config, pinsage_config_from(ctx));
+                   });
+  register_creator(
+      SamplerKind::kPinSage, DistMode::kPartitioned,
+      [](const Graph& g, const SamplerContext& ctx) {
+        auto sampler = std::make_unique<PartitionedPinSageSampler>(
+            g, require_grid(ctx, "partitioned pinsage"), ctx.config,
+            pinsage_config_from(ctx), ctx.part_opts);
+        sampler->bind_cluster(ctx.cluster);
+        return sampler;
+      });
 }
 
 SamplerRegistry& SamplerRegistry::instance() {

@@ -26,11 +26,31 @@
 
 namespace dms {
 
-enum class SamplerKind { kGraphSage, kLadies, kFastGcn, kLabor };
+enum class SamplerKind {
+  kGraphSage,
+  kLadies,
+  kFastGcn,
+  kLabor,
+  kGraphSaint,
+  kNode2Vec,
+  kPinSage,
+};
 enum class DistMode { kReplicated, kPartitioned };
 
 std::string to_string(SamplerKind kind);
 std::string to_string(DistMode mode);
+
+/// Walk-sampler parameters threaded through the factory. Only the walk
+/// kinds (kGraphSaint / kNode2Vec / kPinSage) read them; the walk samplers
+/// take their model depth from SamplerConfig::num_layers() and their seed
+/// from SamplerConfig::seed.
+struct WalkParams {
+  index_t walk_length = 2;     ///< rounds per random walk
+  value_t p = 1.0;             ///< node2vec return parameter
+  value_t q = 1.0;             ///< node2vec in-out parameter
+  index_t pinsage_walks = 16;  ///< simulated walks per vertex (kPinSage)
+  index_t pinsage_top = 8;     ///< importance neighbors kept per vertex
+};
 
 /// Everything a sampler creator may need beyond the graph.
 struct SamplerContext {
@@ -41,6 +61,8 @@ struct SamplerContext {
   /// Optional long-lived cluster bound to partitioned samplers so their
   /// MatrixSampler::sample_bulk records phases on it.
   Cluster* cluster = nullptr;
+  /// Walk-sampler parameters (walk kinds only).
+  WalkParams walk;
 };
 
 using SamplerCreator = std::function<std::unique_ptr<MatrixSampler>(

@@ -1,0 +1,67 @@
+#include "graph/relabel.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace dms {
+
+void VertexRelabeling::map_inplace(std::vector<index_t>& ids) const {
+  for (index_t& v : ids) v = map(v);
+}
+
+void VertexRelabeling::unmap_inplace(std::vector<index_t>& ids) const {
+  for (index_t& v : ids) v = unmap(v);
+}
+
+VertexRelabeling degree_sorted_relabeling(const CsrMatrix& adj) {
+  check(adj.rows() == adj.cols(), "degree_sorted_relabeling: adjacency not square");
+  const index_t n = adj.rows();
+  VertexRelabeling r;
+  r.to_old.resize(static_cast<std::size_t>(n));
+  std::iota(r.to_old.begin(), r.to_old.end(), index_t{0});
+  std::sort(r.to_old.begin(), r.to_old.end(), [&](index_t a, index_t b) {
+    const nnz_t da = adj.row_nnz(a), db = adj.row_nnz(b);
+    if (da != db) return da > db;
+    return a < b;  // degree ties keep original order (determinism)
+  });
+  r.to_new.resize(static_cast<std::size_t>(n));
+  for (index_t nu = 0; nu < n; ++nu) {
+    r.to_new[static_cast<std::size_t>(r.to_old[static_cast<std::size_t>(nu)])] = nu;
+  }
+  return r;
+}
+
+CsrMatrix relabel_adjacency(const CsrMatrix& adj, const VertexRelabeling& r) {
+  check(adj.rows() == adj.cols(), "relabel_adjacency: adjacency not square");
+  check(r.size() == adj.rows(), "relabel_adjacency: permutation size mismatch");
+  const index_t n = adj.rows();
+  std::vector<nnz_t> rowptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> colidx;
+  std::vector<value_t> vals;
+  colidx.reserve(static_cast<std::size_t>(adj.nnz()));
+  vals.reserve(static_cast<std::size_t>(adj.nnz()));
+  std::vector<std::pair<index_t, value_t>> row;
+  for (index_t nu = 0; nu < n; ++nu) {
+    const index_t old_v = r.unmap(nu);
+    const auto cols = adj.row_cols(old_v);
+    const auto rvals = adj.row_vals(old_v);
+    row.clear();
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      row.emplace_back(r.map(cols[k]), rvals[k]);
+    }
+    // Mapping a strictly-increasing column list through a permutation breaks
+    // the ordering; re-sort to restore the CSR invariant (ids stay distinct).
+    std::sort(row.begin(), row.end());
+    for (const auto& [c, v] : row) {
+      colidx.push_back(c);
+      vals.push_back(v);
+    }
+    rowptr[static_cast<std::size_t>(nu) + 1] = static_cast<nnz_t>(colidx.size());
+  }
+  return CsrMatrix(n, n, std::move(rowptr), std::move(colidx), std::move(vals));
+}
+
+}  // namespace dms

@@ -1,0 +1,54 @@
+// Degree-sorted vertex relabeling (the FlashMob layout idea, adapted):
+// renumber vertices in descending out-degree order so the hottest adjacency
+// rows — the high-degree vertices that random walks visit most often —
+// occupy a dense, cache-resident prefix of the CSR arrays. Walk-shaped
+// workloads touch rows with probability proportional to in-walk visit
+// frequency, which on power-law graphs concentrates on the few hub
+// vertices; after relabeling those rows share cache lines instead of being
+// scattered across the full edge array.
+//
+// The pass is generic — any consumer (the walk engine, a future feature
+// cache layout, samplers with their own staging) can relabel a graph,
+// operate in the new id space, and map results back. Ties in degree break
+// by original id, so the permutation is a pure function of the adjacency
+// (deterministic across runs and thread counts).
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace dms {
+
+/// A vertex renumbering: a bijection between original ("old") and relabeled
+/// ("new") vertex ids.
+struct VertexRelabeling {
+  std::vector<index_t> to_new;  ///< old id → new id
+  std::vector<index_t> to_old;  ///< new id → old id
+
+  index_t size() const { return static_cast<index_t>(to_new.size()); }
+  index_t map(index_t old_id) const {
+    return to_new[static_cast<std::size_t>(old_id)];
+  }
+  index_t unmap(index_t new_id) const {
+    return to_old[static_cast<std::size_t>(new_id)];
+  }
+
+  /// In-place map/unmap of id lists (frontiers, visited sets, walk roots).
+  void map_inplace(std::vector<index_t>& ids) const;
+  void unmap_inplace(std::vector<index_t>& ids) const;
+};
+
+/// Builds the descending-out-degree permutation of `adj` (a square CSR
+/// adjacency). Equal degrees order by original id, making the relabeling a
+/// deterministic function of the graph.
+VertexRelabeling degree_sorted_relabeling(const CsrMatrix& adj);
+
+/// Applies `r` to both dimensions of `adj`: row new_v of the result is the
+/// adjacency row of r.unmap(new_v) with every column id mapped to its new
+/// id and the row re-sorted to restore the CSR column invariant. The result
+/// is the same graph under the new numbering (relabel → unmap round-trips
+/// to the original edge set).
+CsrMatrix relabel_adjacency(const CsrMatrix& adj, const VertexRelabeling& r);
+
+}  // namespace dms

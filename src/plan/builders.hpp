@@ -29,8 +29,28 @@ SamplePlan build_labor_plan();
 
 /// GraphSAINT-RW (Zeng et al. 2020): walk_length rounds of
 /// stack → Q·A → NORM → ITS(1) → walk advance, then an induced-subgraph
-/// epilogue emitting model_layers identical layers. Not dist-lowerable
-/// (kInducedLayers); single-node execution only.
+/// epilogue emitting model_layers identical layers. Dist-lowerable (the
+/// partitioned kInducedLayers assembles rows from the owner blocks); on the
+/// replicated path the walk rounds run fused through the walk engine
+/// (src/walk) when it matches the plan shape.
 SamplePlan build_saint_plan(index_t walk_length, index_t model_layers);
+
+/// node2vec (Grover & Leskovec 2016): the GraphSAINT walk shape with a
+/// kWalkBias op between the probability SpGEMM and NORM — candidates are
+/// reweighted 1/p (return), 1 (neighbor of the previous vertex), or 1/q —
+/// plus a persistent prev slot maintained by kWalkAdvance. Uses the same
+/// walk seeds as GraphSAINT, so p = q = 1 reproduces saint_rw's walks
+/// bit-for-bit.
+SamplePlan build_node2vec_plan(index_t walk_length, index_t model_layers,
+                               value_t p, value_t q);
+
+/// PinSAGE-style importance sampling (Ying et al. 2018): the GraphSAGE plan
+/// shape run against a walk-derived weighted adjacency — short simulated
+/// walks per vertex score its neighborhood, the top-T visited vertices
+/// become weighted edges (core/pinsage.hpp builds that graph), and the
+/// plan's NORM → ITS then draws a weighted fanout per row. Pure plan: the
+/// probability SpGEMM reads the weights, so the op program needs nothing
+/// new and lowers to the 1.5D collectives unchanged.
+SamplePlan build_pinsage_plan();
 
 }  // namespace dms

@@ -47,6 +47,10 @@ struct RunCtx {
   const std::vector<value_t>* weights = nullptr;  ///< kGlobalWeights prefix
   SpgemmOptions local;  ///< per-panel engine options (partitioned)
   bool sparsity_aware = true;
+  // Fused walk execution (replicated walk-shaped plans, DESIGN.md §11).
+  const WalkEngine* walk_engine = nullptr;
+  const WalkPlanShape* walk_shape = nullptr;
+  std::uint64_t* walk_steps = nullptr;  ///< surviving walker × round counter
   std::vector<RowState> rows;
 };
 
@@ -159,6 +163,56 @@ RowSeedFn make_row_seed(const FrontierStack* stack,
   };
 }
 
+/// Adjacency row (columns) of global vertex g in either mode. Partitioned
+/// execution reads the owner block directly — every process column stores
+/// whole block rows, so the read models an intra-column fetch whose cost is
+/// accounted separately (model_dist_row_fetch).
+std::span<const index_t> adj_row_cols(const RunCtx& ctx, index_t g) {
+  if (ctx.adj != nullptr) return ctx.adj->row_cols(g);
+  const BlockPartition& part = ctx.dadj->partition();
+  const index_t owner = part.owner(g);
+  return ctx.dadj->block(owner).row_cols(g - part.begin(owner));
+}
+
+/// Models the remote-row fetches of a row-local op in partitioned mode:
+/// process row i requests the adjacency rows of `verts` (sorted, deduped)
+/// from their owner blocks within its own process column — the ids-up /
+/// rows-back p2p shape of the 1.5D collective's sparsity-aware fetch, one
+/// message pair per remote owner. Returns row i's modeled comm seconds;
+/// volumes accumulate into bytes/msgs.
+double model_dist_row_fetch(const RunCtx& ctx, std::size_t i,
+                            const std::vector<index_t>& verts, bool with_vals,
+                            std::size_t* bytes, std::size_t* msgs) {
+  const BlockPartition& part = ctx.dadj->partition();
+  const ProcessGrid& grid = ctx.cluster->grid();
+  const CostModel& cm = ctx.cluster->cost_model();
+  const std::size_t per_edge =
+      sizeof(index_t) + (with_vals ? sizeof(value_t) : 0);
+  double sec = 0.0;
+  std::size_t k0 = 0;
+  while (k0 < verts.size()) {
+    const index_t owner = part.owner(verts[k0]);
+    std::size_t k1 = k0;
+    std::size_t row_edges = 0;
+    while (k1 < verts.size() && part.owner(verts[k1]) == owner) {
+      row_edges += adj_row_cols(ctx, verts[k1]).size();
+      ++k1;
+    }
+    if (owner != static_cast<index_t>(i)) {
+      const int dst = grid.rank_of(static_cast<int>(i), 0);
+      const int src = grid.rank_of(static_cast<int>(owner), 0);
+      const std::size_t id_bytes = (k1 - k0) * sizeof(index_t);
+      const std::size_t row_bytes =
+          row_edges * per_edge + (k1 - k0 + 1) * sizeof(nnz_t);
+      sec += cm.p2p(dst, src, id_bytes) + cm.p2p(src, dst, row_bytes);
+      *bytes += id_bytes + row_bytes;
+      *msgs += 2;
+    }
+    k0 = k1;
+  }
+  return sec;
+}
+
 void exec_build_q(RunCtx& ctx, const PlanOp& op) {
   rows_op(ctx, op, [&](RowState& r, std::size_t) {
     const auto& fr = as_lists(ctx, r, op.in, op);
@@ -219,6 +273,12 @@ void exec_spgemm_15d(RunCtx& ctx, const PlanOp& op) {
   const bool can_move = sole_reader_of_input(ctx.plan, op);
   std::vector<CsrMatrix> blocks(rows);
   for (std::size_t i = 0; i < rows; ++i) {
+    // A stopped process row (walk plans: every walk terminated) contributes
+    // an empty Q — its input slot holds a stale or moved-out value.
+    if (ctx.rows[i].stopped) {
+      blocks[i] = CsrMatrix(0, ctx.n);
+      continue;
+    }
     // Move when this op is the slot's only reader (the common case —
     // avoids an O(nnz) copy per process row per round on the hot path).
     CsrMatrix& q = as_matrix(ctx, ctx.rows[i], op.in, op);
@@ -235,6 +295,7 @@ void exec_spgemm_15d(RunCtx& ctx, const PlanOp& op) {
   sopts.local.workspace = ctx.ws;
   auto products = spgemm_15d(*ctx.cluster, blocks, *ctx.dadj, sopts);
   for (std::size_t i = 0; i < rows; ++i) {
+    if (ctx.rows[i].stopped) continue;
     PlanValue& out = slot_ref(ctx, ctx.rows[i], op.out, op);
     out.kind = PlanValue::Kind::kMatrix;
     out.m = std::move(products[i]);
@@ -425,39 +486,124 @@ void exec_frontier_union(RunCtx& ctx, const PlanOp& op) {
   });
 }
 
+void exec_walk_bias(RunCtx& ctx, const PlanOp& op) {
+  // node2vec second-order reweighting (Grover & Leskovec 2016), in place on
+  // the probability rows: candidate == previous vertex → ×1/p, a neighbor
+  // of it → ×1, else ×1/q. The prev slot holds one entry per walker; a
+  // batch with no history yet (round 0) stays unbiased.
+  std::size_t comm_bytes = 0, comm_msgs = 0;
+  double comm_sec = 0.0;
+  rows_op(ctx, op, [&](RowState& r, std::size_t i) {
+    CsrMatrix& m = as_matrix(ctx, r, op.in, op);
+    const FrontierStack& stack = as_stack(ctx, r, op.in2, op);
+    const auto& prev = as_lists(ctx, r, ctx.plan.prev_slot, op);
+    if (ctx.cluster != nullptr) {
+      // The membership test reads the previous vertices' adjacency rows;
+      // remote ones are modeled as intra-column owner-block fetches
+      // (columns only — no values cross).
+      std::vector<index_t> pv;
+      for (const auto& pb : prev) pv.insert(pv.end(), pb.begin(), pb.end());
+      std::sort(pv.begin(), pv.end());
+      pv.erase(std::unique(pv.begin(), pv.end()), pv.end());
+      comm_sec = std::max(comm_sec, model_dist_row_fetch(ctx, i, pv, false,
+                                                         &comm_bytes, &comm_msgs));
+    }
+    auto& vals = m.mutable_vals();
+    for (std::size_t b = 0; b + 1 < stack.offsets.size(); ++b) {
+      if (prev[b].empty()) continue;  // no previous step yet
+      for (index_t row = stack.offsets[b]; row < stack.offsets[b + 1]; ++row) {
+        const index_t pv =
+            prev[b][static_cast<std::size_t>(row - stack.offsets[b])];
+        const auto prev_row = adj_row_cols(ctx, pv);
+        const auto cols = m.row_cols(row);
+        for (nnz_t k = m.row_begin(row); k < m.row_end(row); ++k) {
+          vals[static_cast<std::size_t>(k)] *= node2vec_bias_factor(
+              cols[static_cast<std::size_t>(k - m.row_begin(row))], pv,
+              prev_row, op.bias_p, op.bias_q);
+        }
+      }
+    }
+  });
+  if (ctx.cluster != nullptr && comm_msgs > 0) {
+    ctx.cluster->record_comm(op.phase, comm_sec, comm_bytes, comm_msgs);
+  }
+}
+
 void exec_walk_advance(RunCtx& ctx, const PlanOp& op) {
   rows_op(ctx, op, [&](RowState& r, std::size_t) {
     const CsrMatrix& qs = as_matrix(ctx, r, op.in, op);
     const FrontierStack& stack = as_stack(ctx, r, op.in2, op);
     auto& walker = as_lists(ctx, r, ctx.plan.frontier_slot, op);
     auto& visited = as_lists(ctx, r, ctx.plan.visited_slot, op);
+    auto* prev = ctx.plan.prev_slot == kNoSlot
+                     ? nullptr
+                     : &as_lists(ctx, r, ctx.plan.prev_slot, op);
     for (std::size_t b = 0; b + 1 < stack.offsets.size(); ++b) {
-      std::vector<index_t> next;
+      auto& wb = walker[b];
+      if (prev != nullptr) (*prev)[b].resize(wb.size());
+      // In-place forward compaction (write index <= read index): survivors
+      // keep their order, dead walks drop out, no per-batch allocation.
+      std::size_t j = 0;
       for (index_t row = stack.offsets[b]; row < stack.offsets[b + 1]; ++row) {
         const auto cols = qs.row_cols(row);
-        if (!cols.empty()) {
-          next.push_back(cols[0]);
-          visited[b].push_back(cols[0]);
-        }
         // Empty row: the walk hit a sink vertex and terminates.
+        if (cols.empty()) continue;
+        const index_t from = wb[static_cast<std::size_t>(row - stack.offsets[b])];
+        wb[j] = cols[0];
+        if (prev != nullptr) (*prev)[b][j] = from;
+        visited[b].push_back(cols[0]);
+        if (ctx.walk_steps != nullptr) ++*ctx.walk_steps;
+        ++j;
       }
-      walker[b] = std::move(next);
+      wb.resize(j);
+      if (prev != nullptr) (*prev)[b].resize(j);
     }
   });
 }
 
+/// extract_rows against the partitioned adjacency: assembles the rows of
+/// `vs` from their owner blocks (values pass through — block rows are
+/// slices of the global matrix, so the result is bit-identical to the
+/// replicated extraction).
+CsrMatrix extract_rows_dist(const RunCtx& ctx, const std::vector<index_t>& vs) {
+  const BlockPartition& part = ctx.dadj->partition();
+  std::vector<nnz_t> rowptr(vs.size() + 1, 0);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    const index_t owner = part.owner(vs[i]);
+    const CsrMatrix& blk = ctx.dadj->block(owner);
+    const index_t lr = vs[i] - part.begin(owner);
+    const auto rc = blk.row_cols(lr);
+    const auto rv = blk.row_vals(lr);
+    cols.insert(cols.end(), rc.begin(), rc.end());
+    vals.insert(vals.end(), rv.begin(), rv.end());
+    rowptr[i + 1] = static_cast<nnz_t>(cols.size());
+  }
+  return CsrMatrix(static_cast<index_t>(vs.size()), ctx.n, std::move(rowptr),
+                   std::move(cols), std::move(vals));
+}
+
 void exec_induced_layers(RunCtx& ctx, const PlanOp& op) {
-  check(ctx.adj != nullptr,
-        op_where(ctx, op) + ": kInducedLayers has no distributed lowering");
-  rows_op(ctx, op, [&](RowState& r, std::size_t) {
+  std::size_t comm_bytes = 0, comm_msgs = 0;
+  double comm_sec = 0.0;
+  rows_op(ctx, op, [&](RowState& r, std::size_t i) {
     auto& visited = as_lists(ctx, r, ctx.plan.visited_slot, op);
+    double row_sec = 0.0;
     for (std::size_t b = 0; b < r.out.size(); ++b) {
       auto& vs = visited[b];
       std::sort(vs.begin(), vs.end());
       vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
       // Induced subgraph A[V_s, V_s]: row extraction + the engine's masked
       // column extraction (values pass through — bit-identical to slicing).
-      const CsrMatrix rows_m = extract_rows(*ctx.adj, vs);
+      CsrMatrix rows_m;
+      if (ctx.adj != nullptr) {
+        rows_m = extract_rows(*ctx.adj, vs);
+      } else {
+        rows_m = extract_rows_dist(ctx, vs);
+        row_sec += model_dist_row_fetch(ctx, i, vs, true, &comm_bytes,
+                                        &comm_msgs);
+      }
       SpgemmOptions mopts;
       mopts.workspace = ctx.ws;
       const CsrMatrix induced = spgemm_masked(rows_m, vs, mopts);
@@ -469,7 +615,11 @@ void exec_induced_layers(RunCtx& ctx, const PlanOp& op) {
       r.out[b].layers.clear();
       for (index_t l = 0; l < op.copies; ++l) r.out[b].layers.push_back(layer);
     }
+    comm_sec = std::max(comm_sec, row_sec);
   });
+  if (ctx.cluster != nullptr && comm_msgs > 0) {
+    ctx.cluster->record_comm(op.phase, comm_sec, comm_bytes, comm_msgs);
+  }
 }
 
 /// Peephole fusion (replicated path): a kMaskedExtract immediately consumed
@@ -528,6 +678,7 @@ void exec_op(RunCtx& ctx, const PlanOp& op, index_t round) {
     case PlanOpKind::kMaskedExtract15d: return exec_masked_extract_15d(ctx, op);
     case PlanOpKind::kFrontierUnion: return exec_frontier_union(ctx, op);
     case PlanOpKind::kWalkAdvance: return exec_walk_advance(ctx, op);
+    case PlanOpKind::kWalkBias: return exec_walk_bias(ctx, op);
     case PlanOpKind::kInducedLayers: return exec_induced_layers(ctx, op);
   }
   throw DmsError(op_where(ctx, op) + ": unknown op kind");
@@ -538,6 +689,7 @@ void exec_op(RunCtx& ctx, const PlanOp& op, index_t round) {
 PlanExecutor::PlanExecutor(SamplePlan plan, SamplerConfig config)
     : plan_(std::move(plan)), config_(std::move(config)) {
   validate_plan(plan_);
+  walk_shape_ = match_walk_plan(plan_);
 }
 
 std::map<std::string, double> PlanExecutor::op_seconds() const {
@@ -553,6 +705,12 @@ void init_row(RunCtx& ctx, RowState& r, index_t first,
   r.slots.assign(static_cast<std::size_t>(ctx.plan.num_slots), PlanValue{});
   r.first_batch = first;
   r.out.resize(static_cast<std::size_t>(count));
+  // Walk plans check pooled per-batch list buffers out of the Workspace
+  // into their persistent slots (frontier / visited / prev), returned by
+  // recycle_walk_lists when the run ends — steady-state walk epochs
+  // allocate only results.
+  const bool pooled = ctx.plan.visited_slot != kNoSlot;
+  WalkScratch* sc = pooled ? &ctx.ws->walk_scratch() : nullptr;
   PlanValue& fr = r.slots[static_cast<std::size_t>(ctx.plan.frontier_slot)];
   fr.kind = PlanValue::Kind::kLists;
   fr.lists.resize(static_cast<std::size_t>(count));
@@ -564,12 +722,45 @@ void init_row(RunCtx& ctx, RowState& r, index_t first,
                 " out of range [0, " + std::to_string(ctx.n) + ")");
     }
     r.out[static_cast<std::size_t>(b)].batch_vertices = batch;
-    fr.lists[static_cast<std::size_t>(b)] = batch;
+    auto& fl = fr.lists[static_cast<std::size_t>(b)];
+    if (pooled) fl = sc->take_list();
+    fl.assign(batch.begin(), batch.end());
   }
   if (ctx.plan.visited_slot != kNoSlot) {
     PlanValue& vis = r.slots[static_cast<std::size_t>(ctx.plan.visited_slot)];
     vis.kind = PlanValue::Kind::kLists;
-    vis.lists = fr.lists;  // walks start visited = roots
+    vis.lists.resize(static_cast<std::size_t>(count));
+    for (index_t b = 0; b < count; ++b) {
+      auto& vl = vis.lists[static_cast<std::size_t>(b)];
+      vl = sc->take_list();
+      const auto& fl = fr.lists[static_cast<std::size_t>(b)];
+      vl.assign(fl.begin(), fl.end());  // walks start visited = roots
+    }
+  }
+  if (ctx.plan.prev_slot != kNoSlot) {
+    PlanValue& pp = r.slots[static_cast<std::size_t>(ctx.plan.prev_slot)];
+    pp.kind = PlanValue::Kind::kLists;
+    pp.lists.resize(static_cast<std::size_t>(count));
+    if (pooled) {
+      for (auto& pl : pp.lists) pl = sc->take_list();
+    }
+  }
+}
+
+/// Returns a walk plan's pooled slot lists to the Workspace pool (capacity
+/// retained for the next run).
+void recycle_walk_lists(RunCtx& ctx) {
+  if (ctx.plan.visited_slot == kNoSlot) return;
+  WalkScratch& sc = ctx.ws->walk_scratch();
+  for (RowState& r : ctx.rows) {
+    for (const SlotId s :
+         {ctx.plan.frontier_slot, ctx.plan.visited_slot, ctx.plan.prev_slot}) {
+      if (s == kNoSlot) continue;
+      PlanValue& v = r.slots[static_cast<std::size_t>(s)];
+      if (v.kind != PlanValue::Kind::kLists) continue;
+      for (auto& l : v.lists) sc.put_list(std::move(l));
+      v.lists.clear();
+    }
   }
 }
 
@@ -600,6 +791,31 @@ void run_rounds(RunCtx& ctx, std::map<std::string, PlanOpStats>& stats) {
       ++s.calls;
     }
   };
+  if (ctx.walk_engine != nullptr) {
+    // Fused walk path (DESIGN.md §11): the engine runs every body round in
+    // one per-walker pass over its cache-bucketed adjacency copy —
+    // bit-identical to the op-by-op rounds, so only the time attribution
+    // changes (one "fused_walk" entry instead of the five body ops).
+    Timer t;
+    for (RowState& r : ctx.rows) {
+      auto& walker =
+          r.slots[static_cast<std::size_t>(ctx.plan.frontier_slot)].lists;
+      auto& visited =
+          r.slots[static_cast<std::size_t>(ctx.plan.visited_slot)].lists;
+      auto* prev =
+          ctx.plan.prev_slot == kNoSlot
+              ? nullptr
+              : &r.slots[static_cast<std::size_t>(ctx.plan.prev_slot)].lists;
+      ctx.walk_engine->run(walker, visited, prev, *ctx.batch_ids,
+                           r.first_batch, ctx.epoch_seed, rounds,
+                           *ctx.walk_shape, *ctx.ws, ctx.walk_steps);
+    }
+    PlanOpStats& s = stats[ctx.plan.name + "/fused_walk"];
+    s.seconds += t.seconds();
+    ++s.calls;
+    run_ops(ctx.plan.epilogue, rounds == 0 ? 0 : rounds - 1);
+    return;
+  }
   for (index_t l = 0; l < rounds; ++l) {
     bool any_live = false;
     for (const RowState& r : ctx.rows) any_live = any_live || !r.stopped;
@@ -639,9 +855,21 @@ std::vector<MinibatchSample> PlanExecutor::run(
   ctx.epoch_seed = epoch_seed;
   ctx.ws = ws;
   ctx.weights = global_weights;
+  ctx.walk_steps = &walk_steps_;
+  if (walk_shape_.matched && walk_opts_.fused) {
+    // Build (or reuse) the fused engine for the bound adjacency; the cache
+    // key is the matrix identity, so switching graphs rebuilds.
+    if (engine_ == nullptr || engine_adj_ != ctx.adj) {
+      engine_ = std::make_unique<WalkEngine>(*ctx.adj, walk_opts_);
+      engine_adj_ = ctx.adj;
+    }
+    ctx.walk_engine = engine_.get();
+    ctx.walk_shape = &walk_shape_;
+  }
   ctx.rows.resize(1);
   init_row(ctx, ctx.rows[0], 0, batches, static_cast<index_t>(batches.size()));
   run_rounds(ctx, stats_);
+  recycle_walk_lists(ctx);
   return std::move(ctx.rows[0].out);
 }
 
@@ -670,12 +898,14 @@ std::vector<std::vector<MinibatchSample>> PlanExecutor::run_partitioned(
   ctx.weights = global_weights;
   ctx.local = local_spgemm;
   ctx.sparsity_aware = sparsity_aware;
+  ctx.walk_steps = &walk_steps_;
   ctx.rows.resize(static_cast<std::size_t>(assign.parts()));
   for (index_t i = 0; i < assign.parts(); ++i) {
     init_row(ctx, ctx.rows[static_cast<std::size_t>(i)], assign.begin(i),
              batches, assign.end(i) - assign.begin(i));
   }
   run_rounds(ctx, stats_);
+  recycle_walk_lists(ctx);
   std::vector<std::vector<MinibatchSample>> out;
   out.reserve(ctx.rows.size());
   for (RowState& r : ctx.rows) out.push_back(std::move(r.out));

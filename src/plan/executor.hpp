@@ -14,6 +14,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
 #include "plan/plan.hpp"
+#include "walk/walk_engine.hpp"
 
 namespace dms {
 
@@ -70,7 +72,27 @@ class PlanExecutor {
   const std::map<std::string, PlanOpStats>& op_stats() const { return stats_; }
   /// op_stats() projected to seconds (the MatrixSampler breakdown surface).
   std::map<std::string, double> op_seconds() const;
-  void reset_stats() const { stats_.clear(); }
+  void reset_stats() const {
+    stats_.clear();
+    walk_steps_ = 0;
+  }
+
+  /// Fused walk-engine controls (DESIGN.md §11). Takes effect on the next
+  /// run: the cached engine is dropped and rebuilt under the new options.
+  /// Only replicated runs of a walk-shaped plan (match_walk_plan) fuse;
+  /// everything else ignores these options.
+  void set_walk_options(const WalkEngineOptions& opts) {
+    walk_opts_ = opts;
+    engine_.reset();
+    engine_adj_ = nullptr;
+  }
+  const WalkEngineOptions& walk_options() const { return walk_opts_; }
+  /// Whether replicated runs of this plan take the fused walk path.
+  bool walk_fusable() const { return walk_shape_.matched && walk_opts_.fused; }
+  /// Walk steps (surviving walker × round) advanced since construction /
+  /// reset_stats, on both the fused and the matrix path — the edges/s
+  /// numerator of bench/micro_walk.
+  std::uint64_t walk_steps() const { return walk_steps_; }
 
  private:
   SamplePlan plan_;
@@ -78,6 +100,14 @@ class PlanExecutor {
   /// Per-op accounting. Samplers drive their executor sequentially (the
   /// Workspace ownership contract), so mutation from const runs is safe.
   mutable std::map<std::string, PlanOpStats> stats_;
+  // Fused walk engine (replicated walk-shaped plans). The engine holds a
+  // relabeled adjacency copy, so it is cached keyed on the bound adjacency
+  // and rebuilt only when the caller switches graphs.
+  WalkEngineOptions walk_opts_;
+  WalkPlanShape walk_shape_;
+  mutable std::unique_ptr<WalkEngine> engine_;
+  mutable const CsrMatrix* engine_adj_ = nullptr;
+  mutable std::uint64_t walk_steps_ = 0;
 };
 
 }  // namespace dms

@@ -40,6 +40,8 @@ OpShape op_shape(const PlanOp& op) {
       return {true, true, false, false};
     case PlanOpKind::kWalkAdvance:
       return {true, true, false, false};
+    case PlanOpKind::kWalkBias:
+      return {true, true, false, false};  // in-place on `in`; reads prev slot
     case PlanOpKind::kInducedLayers:
       return {false, false, false, false};  // reads the visited slot
   }
@@ -91,6 +93,11 @@ void validate_ops(const SamplePlan& plan, const std::vector<PlanOp>& ops,
         op.kind == PlanOpKind::kInducedLayers) {
       check(plan.visited_slot != kNoSlot, where + ": plan has no visited slot");
     }
+    if (op.kind == PlanOpKind::kWalkBias) {
+      check(plan.prev_slot != kNoSlot, where + ": plan has no prev slot");
+      check(op.bias_p > 0.0 && op.bias_q > 0.0,
+            where + ": bias parameters p and q must be positive");
+    }
     if (op.out != kNoSlot) defined.insert(op.out);
     if (op.out2 != kNoSlot) defined.insert(op.out2);
   }
@@ -111,12 +118,14 @@ void validate_plan(const SamplePlan& plan) {
   };
   check_bound(plan.frontier_slot, "frontier");
   check_bound(plan.visited_slot, "visited");
+  check_bound(plan.prev_slot, "prev");
 
-  // Only the frontier / visited slots persist across rounds; every other
-  // slot must be written before it is read, in program order.
+  // Only the frontier / visited / prev slots persist across rounds; every
+  // other slot must be written before it is read, in program order.
   std::set<SlotId> defined;
   if (plan.frontier_slot != kNoSlot) defined.insert(plan.frontier_slot);
   if (plan.visited_slot != kNoSlot) defined.insert(plan.visited_slot);
+  if (plan.prev_slot != kNoSlot) defined.insert(plan.prev_slot);
   validate_ops(plan, plan.body, defined, "body");
   validate_ops(plan, plan.epilogue, defined, "epilogue");
 }
@@ -135,11 +144,10 @@ SamplePlan lower_to_dist(const SamplePlan& plan) {
         case PlanOpKind::kMaskedExtract:
           op.kind = PlanOpKind::kMaskedExtract15d;
           break;
-        case PlanOpKind::kInducedLayers:
-          throw DmsError("lower_to_dist: plan '" + plan.name + "' op '" +
-                         op.label + "' has no distributed lowering");
         default:
           break;  // row-local ops run unchanged on each process row
+                  // (kWalkBias / kInducedLayers fetch the adjacency rows
+                  // they need from the owner blocks at execution time)
       }
     }
   };
@@ -160,6 +168,7 @@ std::string to_string(PlanOpKind kind) {
     case PlanOpKind::kMaskedExtract: return "masked_extract";
     case PlanOpKind::kFrontierUnion: return "frontier_union";
     case PlanOpKind::kWalkAdvance: return "walk_advance";
+    case PlanOpKind::kWalkBias: return "walk_bias";
     case PlanOpKind::kInducedLayers: return "induced_layers";
     case PlanOpKind::kSpgemm15d: return "spgemm_15d";
     case PlanOpKind::kMaskedExtract15d: return "masked_extract_15d";

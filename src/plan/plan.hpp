@@ -81,8 +81,18 @@ enum class PlanOpKind {
   /// result (LADIES / FastGCN).
   kFrontierUnion,
   /// Random-walk step: frontier[b] ← sampled next vertex per walker (dead
-  /// walks drop out), appending survivors to the visited slot.
+  /// walks drop out), appending survivors to the visited slot. Plans with a
+  /// prev slot also record each survivor's previous vertex (second-order
+  /// walks).
   kWalkAdvance,
+  /// node2vec second-order bias (Grover & Leskovec 2016): scales each entry
+  /// of the probability matrix (in, modified in place; in2 = the round's
+  /// frontier stack) by 1/p when the candidate is the walker's previous
+  /// vertex, 1 when it neighbors it, 1/q otherwise. Reads the plan's prev
+  /// slot; a walker with no previous step yet (round 0) is left unbiased.
+  /// Row-local in partitioned mode (prev rows are fetched from their owner
+  /// block, with the fetch accounted as intra-column p2p).
+  kWalkBias,
   /// Epilogue op: per batch, the subgraph induced on the (sorted, deduped)
   /// visited set, emitted `copies` times (GraphSAINT trains an L-layer
   /// model on one induced adjacency). Replaces batch_vertices with V_s.
@@ -135,6 +145,9 @@ struct PlanOp {
   index_t fixed_s = -1;
   /// kInducedLayers: how many identical layers to emit.
   index_t copies = 1;
+  /// kWalkBias: the node2vec return (p) and in-out (q) parameters.
+  value_t bias_p = 1.0;
+  value_t bias_q = 1.0;
 };
 
 /// A compiled sampler: the op program plus its slot/loop structure.
@@ -146,6 +159,9 @@ struct SamplePlan {
   SlotId frontier_slot = kNoSlot;
   /// Persistent visited-set slot for walk plans (kNoSlot otherwise).
   SlotId visited_slot = kNoSlot;
+  /// Persistent previous-vertex slot for second-order walk plans
+  /// (node2vec): written by kWalkAdvance, read by kWalkBias the next round.
+  SlotId prev_slot = kNoSlot;
   /// true: rounds = SamplerConfig::fanouts.size(); false: explicit_rounds
   /// (GraphSAINT's walk length is independent of the model depth).
   bool rounds_from_fanouts = true;
@@ -176,8 +192,9 @@ void validate_plan(const SamplePlan& plan);
 /// kSpgemm rewritten to kSpgemm15d and every kMaskedExtract to
 /// kMaskedExtract15d (which insert the block-row fetch/exchange and
 /// all-reduce steps of Algorithm 2 when executed), and `distributed` set.
-/// Row-local ops are unchanged. Throws DmsError for plans containing ops
-/// with no distributed form (kInducedLayers).
+/// Row-local ops are unchanged — including kWalkBias and kInducedLayers,
+/// whose partitioned executors assemble the adjacency rows they need from
+/// the owner blocks (the fetches are accounted as intra-column p2p).
 SamplePlan lower_to_dist(const SamplePlan& plan);
 
 std::string to_string(PlanOpKind kind);

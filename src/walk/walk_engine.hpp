@@ -1,0 +1,153 @@
+// Fused random-walk engine (DESIGN.md §11): a dedicated executor for
+// walk-shaped sampling plans.
+//
+// A walk round in the plan IR is kBuildQ → kSpgemm → kNormalize →
+// kItsSample(s = 1) → kWalkAdvance: materialize one sparse row per walker,
+// row-normalize it, draw a single ITS sample, keep the survivor. Every one
+// of those matrices is rebuilt per round just to pick one neighbor per
+// walker — the FlashMob observation is that the whole round collapses to a
+// per-walker loop over the CSR adjacency row of its current vertex. The
+// engine recognizes that shape (match_walk_plan) and advances walkers
+// directly, replicating the matrix path's floating-point operations and
+// RNG draw order exactly, so GraphSAINT / node2vec minibatches stay
+// bit-identical to the unfused plan (the golden hashes of tests/test_plan
+// do not move).
+//
+// Locality (FlashMob, Yang et al. 2021, adapted):
+//  - the engine keeps a private copy of the adjacency renumbered by
+//    descending out-degree (graph/relabel.hpp) so the hub rows that walks
+//    visit most often share a compact cache-resident prefix. The copy is
+//    *position-preserving*: each row keeps its original column order (new
+//    ids stored in old-id ascending order), so "the k-th neighbor" means
+//    the same logical edge in both id spaces and the ITS pick index maps
+//    1:1 — bit-identity survives the relabeling;
+//  - walker state is bucketed by the CSR byte range of the current vertex:
+//    each round processes walkers one cache-sized bucket at a time
+//    (counting sort, stable), then merges survivors back in walker order.
+//    Processing order only changes memory locality, never results — every
+//    walker's draw is seeded by (epoch, batch, round, local row).
+//
+// Walker state lives in the sampler Workspace's WalkScratch, so
+// steady-state walk epochs (and frozen serving arenas) allocate nothing on
+// this path.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/workspace.hpp"
+#include "graph/relabel.hpp"
+#include "plan/plan.hpp"
+#include "sparse/csr.hpp"
+
+namespace dms {
+
+struct WalkEngineOptions {
+  /// Recognize walk-shaped plans and run their rounds fused (replicated
+  /// execution only; lowered plans always take the collective matrix path).
+  bool fused = true;
+  /// Relabel the engine's adjacency copy by descending out-degree.
+  bool relabel = true;
+  /// Graphs smaller than this skip the relabeling pass (they fit in cache
+  /// under any numbering).
+  index_t relabel_min_vertices = 1024;
+  /// Target CSR bytes per walker bucket (~an L2 slice). <= 0 disables
+  /// bucketing.
+  std::size_t bucket_bytes = 2u << 20;
+};
+
+/// Result of matching a plan body against the fusable walk-round shape.
+struct WalkPlanShape {
+  bool matched = false;
+  bool biased = false;  ///< body carries a kWalkBias op (node2vec)
+  std::uint64_t layer_salt = 0;
+  value_t bias_p = 1.0;
+  value_t bias_q = 1.0;
+};
+
+/// Matches `plan`'s body against kBuildQ(kOnePerVertex) → kSpgemm →
+/// [kWalkBias] → kNormalize(kRow) → kItsSample(kMatrixRows, s = 1,
+/// kLocalRow, stacked) → kWalkAdvance with matching slot wiring. Only
+/// unlowered explicit-round stop-on-empty plans match; the epilogue is
+/// unconstrained (it runs through the regular op path).
+WalkPlanShape match_walk_plan(const SamplePlan& plan);
+
+/// node2vec (Grover & Leskovec 2016) second-order bias: candidate == the
+/// previous vertex → 1/p (return), a neighbor of it → 1 (BFS-like), else
+/// 1/q (DFS-like). `prev_row` is the previous vertex's sorted neighbor
+/// list; all ids must share one id space.
+inline value_t node2vec_bias_factor(index_t cand, index_t prev,
+                                    std::span<const index_t> prev_row,
+                                    value_t p, value_t q) {
+  if (cand == prev) return static_cast<value_t>(1.0) / p;
+  if (std::binary_search(prev_row.begin(), prev_row.end(), cand)) {
+    return static_cast<value_t>(1.0);
+  }
+  return static_cast<value_t>(1.0) / q;
+}
+
+class WalkEngine {
+ public:
+  /// Builds the engine's (optionally relabeled) adjacency copy. `adj` is
+  /// borrowed and must outlive the engine (second-order bias reads the
+  /// original rows for the sorted-neighbor membership test).
+  WalkEngine(const CsrMatrix& adj, const WalkEngineOptions& opts);
+
+  bool relabeled() const { return !identity_; }
+  index_t num_buckets() const { return num_buckets_; }
+  const VertexRelabeling& relabeling() const { return relab_; }
+
+  /// Runs all walk rounds fused. `walkers` / `visited` are the plan's
+  /// per-batch frontier / visited lists in original vertex ids (walkers in,
+  /// final positions out; visited appended per survivor in walker order —
+  /// exactly the matrix path's kWalkAdvance contract). `prev` is the plan's
+  /// previous-vertex slot for biased plans (nullptr otherwise). `steps`, if
+  /// non-null, is incremented once per surviving walker per round (the
+  /// edges/s numerator of bench/micro_walk).
+  void run(std::vector<std::vector<index_t>>& walkers,
+           std::vector<std::vector<index_t>>& visited,
+           std::vector<std::vector<index_t>>* prev,
+           const std::vector<index_t>& batch_ids, index_t first_batch,
+           std::uint64_t epoch_seed, index_t rounds, const WalkPlanShape& shape,
+           Workspace& ws, std::uint64_t* steps) const;
+
+ private:
+  index_t map_v(index_t old_id) const {
+    return identity_ ? old_id : relab_.map(old_id);
+  }
+  index_t unmap_v(index_t new_id) const {
+    return identity_ ? new_id : relab_.unmap(new_id);
+  }
+  value_t unit_total(index_t deg) const;
+  const std::vector<value_t>& unit_prefix(index_t deg) const;
+
+  const CsrMatrix* orig_ = nullptr;
+  VertexRelabeling relab_;
+  bool identity_ = true;
+  /// Every adjacency value is exactly 1.0 (the unweighted common case):
+  /// normalized rows are the constant 1/deg, so the per-pick scan needs no
+  /// memory traffic beyond the drawn prefix.
+  bool unit_weights_ = false;
+  // Position-preserving engine CSR (see header comment).
+  std::vector<nnz_t> rowptr_;
+  std::vector<index_t> cols_;
+  std::vector<value_t> vals_;
+  // Cache bucketing: bucket id per (new) vertex, by CSR byte ranges.
+  std::vector<index_t> vbucket_;
+  index_t num_buckets_ = 1;
+  /// Memoized fl-accumulated total of a normalized unit-weight row per
+  /// degree (0.0 = not yet computed; totals are always positive). Lazily
+  /// filled; the engine is driven serially (the Workspace contract).
+  mutable std::vector<value_t> unit_total_;
+  /// Memoized fl-accumulated prefixes of a normalized unit-weight row per
+  /// degree: unit_prefix_[d][k] is 1/d added (k+1) times with intermediate
+  /// rounding — the exact values the matrix path's linear ITS scan compares
+  /// against. Binary-searching them picks the identical index in O(log d)
+  /// instead of a serially-dependent O(pick) float-add chain, which on hub
+  /// rows is the difference between a cache fight and an FP-latency wall.
+  mutable std::vector<std::vector<value_t>> unit_prefix_;
+};
+
+}  // namespace dms

@@ -237,7 +237,8 @@ TEST(PlanValidate, DistOpInUnloweredPlanRejected) {
 TEST(PlanValidate, BuiltinPlansValidate) {
   for (const SamplePlan& p :
        {build_sage_plan(), build_ladies_plan(), build_fastgcn_plan(),
-        build_labor_plan(), build_saint_plan(3, 2)}) {
+        build_labor_plan(), build_saint_plan(3, 2),
+        build_node2vec_plan(3, 2, 0.5, 2.0), build_pinsage_plan()}) {
     EXPECT_NO_THROW(validate_plan(p)) << p.name;
     EXPECT_FALSE(describe(p).empty());
   }
@@ -334,8 +335,26 @@ TEST(PlanLowering, FastGcnLoweringIsRowLocalExceptExtraction) {
   EXPECT_NO_THROW(lower_to_dist(plain));
 }
 
-TEST(PlanLowering, SaintHasNoDistributedLowering) {
-  EXPECT_THROW(lower_to_dist(build_saint_plan(2, 1)), DmsError);
+TEST(PlanLowering, SaintLowersAndPartitionedMatchesGolden) {
+  // Walk plans lower like every other plan: the probability SpGEMM becomes
+  // the 1.5D collective, the row-local walk ops (and the induced-subgraph
+  // epilogue, which fetches remote rows from their owner blocks) run
+  // unchanged — and reproduce the replicated golden hash.
+  const SamplePlan lowered = lower_to_dist(build_saint_plan(3, 2));
+  EXPECT_TRUE(lowered.distributed);
+  const Graph g = golden_graph();
+  GraphSaintConfig cfg;
+  cfg.walk_length = 3;
+  cfg.model_layers = 2;
+  for (const auto& [p, c] :
+       std::vector<std::pair<int, int>>{{2, 1}, {4, 2}}) {
+    const ProcessGrid grid(p, c);
+    PartitionedSaintSampler s(g, grid, cfg);
+    EXPECT_EQ(hash_samples(s.sample_bulk(golden_batches(g.num_vertices()),
+                                         kGoldenIds, kGoldenEpoch)),
+              kGoldenSaint)
+        << p << "/" << c;
+  }
 }
 
 TEST(PlanLowering, AlreadyLoweredRejected) {

@@ -4,6 +4,8 @@
 // rejected, and the registry is runtime-extensible.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/fastgcn.hpp"
 #include "dist/sampler_factory.hpp"
 #include "graph/generators.hpp"
@@ -13,6 +15,14 @@ namespace dms {
 namespace {
 
 Graph test_graph() { return generate_erdos_renyi(120, 8.0, 41); }
+
+// GraphSAINT and node2vec sample the induced vertex set of random walks
+// instead of fixed-fanout neighbor layers, so the layer-wise invariants
+// below don't apply to them (see DESIGN.md §11). PinSAGE is layer-wise —
+// its walks only precompute the importance graph it samples from.
+bool is_walk_kind(SamplerKind kind) {
+  return kind == SamplerKind::kGraphSaint || kind == SamplerKind::kNode2Vec;
+}
 
 SamplerContext make_context(const ProcessGrid* grid = nullptr) {
   SamplerContext ctx;
@@ -39,9 +49,21 @@ TEST(SamplerFactory, EveryRegisteredCombinationConstructsAndSamples) {
     SamplerContext ctx = make_context(&grid);
     const auto sampler = make_sampler(kind, mode, g, ctx);
     ASSERT_NE(sampler, nullptr) << to_string(kind) << "/" << to_string(mode);
-    EXPECT_EQ(sampler->config().fanouts, ctx.config.fanouts);
     const MinibatchSample ms = sampler->sample_one(batch, 0, /*epoch_seed=*/11);
-    EXPECT_EQ(ms.batch_vertices, batch);
+    if (is_walk_kind(kind)) {
+      // Walk samplers run unit-fanout model layers over the walk-induced
+      // vertex set; the batch roots are always part of that set.
+      EXPECT_EQ(sampler->config().fanouts,
+                std::vector<index_t>(ctx.config.fanouts.size(), 1));
+      for (const index_t root : batch) {
+        EXPECT_TRUE(std::binary_search(ms.batch_vertices.begin(),
+                                       ms.batch_vertices.end(), root))
+            << to_string(kind) << "/" << to_string(mode) << " root " << root;
+      }
+    } else {
+      EXPECT_EQ(sampler->config().fanouts, ctx.config.fanouts);
+      EXPECT_EQ(ms.batch_vertices, batch);
+    }
     EXPECT_EQ(ms.layers.size(), ctx.config.fanouts.size())
         << to_string(kind) << "/" << to_string(mode);
     EXPECT_FALSE(ms.input_vertices().empty());
@@ -83,7 +105,8 @@ TEST(SamplerFactory, PartitionedMatchesReplicatedThroughCommonInterface) {
   const std::vector<index_t> ids = {0, 1, 2};
   for (const SamplerKind kind :
        {SamplerKind::kGraphSage, SamplerKind::kLadies, SamplerKind::kFastGcn,
-        SamplerKind::kLabor}) {
+        SamplerKind::kLabor, SamplerKind::kGraphSaint, SamplerKind::kNode2Vec,
+        SamplerKind::kPinSage}) {
     SamplerContext ctx = make_context(&grid);
     const auto rep = make_sampler(kind, DistMode::kReplicated, g, ctx);
     const auto part = make_sampler(kind, DistMode::kPartitioned, g, ctx);
@@ -98,10 +121,12 @@ TEST(SamplerFactory, PartitionedMatchesReplicatedThroughCommonInterface) {
 
 TEST(SamplerFactory, EveryKindRegisteredInBothModes) {
   // The plan IR closed the historical gaps (partitioned FastGCN, LABOR):
-  // every algorithm × execution mode is constructible.
+  // every algorithm × execution mode is constructible, including the walk
+  // kinds added with the walk engine.
   for (const SamplerKind kind :
        {SamplerKind::kGraphSage, SamplerKind::kLadies, SamplerKind::kFastGcn,
-        SamplerKind::kLabor}) {
+        SamplerKind::kLabor, SamplerKind::kGraphSaint, SamplerKind::kNode2Vec,
+        SamplerKind::kPinSage}) {
     for (const DistMode mode : {DistMode::kReplicated, DistMode::kPartitioned}) {
       EXPECT_TRUE(SamplerRegistry::instance().contains(kind, mode))
           << to_string(kind) << "/" << to_string(mode);

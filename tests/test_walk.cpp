@@ -1,0 +1,290 @@
+// Fused walk engine (DESIGN.md §11): the fused per-walker path must be
+// bit-identical to the op-by-op matrix path for every graph shape, engine
+// option, and walk sampler; degree-sorted relabeling must round-trip; and
+// steady-state walk epochs must not grow the workspace arena.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/graphsaint.hpp"
+#include "core/node2vec.hpp"
+#include "dist/dist_sampler.hpp"
+#include "graph/generators.hpp"
+#include "graph/relabel.hpp"
+#include "plan/builders.hpp"
+#include "test_util.hpp"
+#include "walk/walk_engine.hpp"
+
+namespace dms {
+namespace {
+
+Graph er_graph() { return generate_erdos_renyi(300, 6.0, 7); }
+
+Graph rmat_graph() {
+  RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 8.0;
+  params.seed = 3;
+  return generate_rmat(params);
+}
+
+/// Directed graph with sinks (3 and 9 have no out-edges), a 2-cycle (6/7),
+/// and a chain feeding a sink — walks die at different rounds per walker.
+Graph sink_graph() {
+  return Graph(CsrMatrix::from_triplets(
+      10, 10, {0, 0, 1, 2, 4, 5, 6, 7, 8}, {1, 4, 2, 3, 5, 3, 7, 6, 3},
+      std::vector<value_t>(9, 1.0)));
+}
+
+const std::vector<std::vector<index_t>> kBatches = {{0, 1, 2}, {3, 4}, {5, 6, 7}};
+const std::vector<index_t> kIds = {0, 1, 2};
+
+bool samples_equal(const std::vector<MinibatchSample>& a,
+                   const std::vector<MinibatchSample>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].batch_vertices != b[i].batch_vertices) return false;
+    if (a[i].layers.size() != b[i].layers.size()) return false;
+    for (std::size_t l = 0; l < a[i].layers.size(); ++l) {
+      if (!(a[i].layers[l].adj == b[i].layers[l].adj)) return false;
+      if (a[i].layers[l].row_vertices != b[i].layers[l].row_vertices) return false;
+      if (a[i].layers[l].col_vertices != b[i].layers[l].col_vertices) return false;
+    }
+  }
+  return true;
+}
+
+// --- fused == matrix bit-identity ------------------------------------------
+
+TEST(WalkEngine, FusedMatchesMatrixAcrossGraphs) {
+  for (const Graph& g : {er_graph(), rmat_graph(), sink_graph()}) {
+    GraphSaintSampler fused(g, {/*walk_length=*/4, /*model_layers=*/2, 9});
+    GraphSaintSampler matrix(g, {/*walk_length=*/4, /*model_layers=*/2, 9});
+    matrix.set_walk_options({.fused = false});
+    ASSERT_TRUE(fused.executor().walk_fusable());
+    ASSERT_FALSE(matrix.executor().walk_fusable());
+    for (std::uint64_t epoch : {0ull, 17ull}) {
+      const auto rf = fused.sample_bulk(kBatches, kIds, epoch);
+      const auto rm = matrix.sample_bulk(kBatches, kIds, epoch);
+      EXPECT_TRUE(samples_equal(rf, rm))
+          << g.num_vertices() << " vertices, epoch " << epoch;
+    }
+    // Both paths count the same surviving-walker steps (the edges/s
+    // numerator of bench/micro_walk).
+    EXPECT_GT(fused.executor().walk_steps(), 0u);
+    EXPECT_EQ(fused.executor().walk_steps(), matrix.executor().walk_steps());
+  }
+}
+
+TEST(WalkEngine, EngineOptionVariantsAreBitIdentical) {
+  const Graph g = rmat_graph();
+  GraphSaintSampler matrix(g, {3, 1, 21});
+  matrix.set_walk_options({.fused = false});
+  const auto reference = matrix.sample_bulk(kBatches, kIds, 5);
+  const WalkEngineOptions variants[] = {
+      {},                                         // default: relabel + bucket
+      {.fused = true, .relabel = false},          // original vertex order
+      {.fused = true, .relabel = true, .relabel_min_vertices = 1,
+       .bucket_bytes = 0},                        // relabel, no bucketing
+      {.fused = true, .relabel = true, .relabel_min_vertices = 1,
+       .bucket_bytes = 4096},                     // many small buckets
+  };
+  for (const WalkEngineOptions& opts : variants) {
+    GraphSaintSampler s(g, {3, 1, 21});
+    s.set_walk_options(opts);
+    EXPECT_TRUE(samples_equal(reference, s.sample_bulk(kBatches, kIds, 5)))
+        << "relabel=" << opts.relabel << " bucket_bytes=" << opts.bucket_bytes;
+  }
+}
+
+TEST(WalkEngine, SinkWalkersTerminate) {
+  // All-sink graph: every walk dies in round one, so the induced subgraph
+  // is exactly the roots with an empty adjacency — on both paths.
+  const Graph g(CsrMatrix(4, 4));
+  GraphSaintSampler fused(g, {3, 1, 2});
+  GraphSaintSampler matrix(g, {3, 1, 2});
+  matrix.set_walk_options({.fused = false});
+  const std::vector<std::vector<index_t>> batches = {{0, 1}, {2}};
+  const auto rf = fused.sample_bulk(batches, {0, 1}, 1);
+  const auto rm = matrix.sample_bulk(batches, {0, 1}, 1);
+  EXPECT_TRUE(samples_equal(rf, rm));
+  ASSERT_EQ(rf.size(), 2u);
+  EXPECT_EQ(rf[0].batch_vertices, (std::vector<index_t>{0, 1}));
+  EXPECT_EQ(rf[1].batch_vertices, (std::vector<index_t>{2}));
+  ASSERT_EQ(rf[0].layers.size(), 1u);
+  EXPECT_EQ(rf[0].layers[0].adj.nnz(), 0);
+  EXPECT_EQ(fused.executor().walk_steps(), 0u);
+}
+
+// --- node2vec ---------------------------------------------------------------
+
+TEST(Node2Vec, UnityParametersReproduceSaint) {
+  // p = q = 1 makes every bias factor exactly 1.0, and the node2vec plan
+  // shares saint_rw's layer salt, so the walks are bit-for-bit GraphSAINT's.
+  const Graph g = er_graph();
+  GraphSaintSampler saint(g, {3, 2, 5});
+  for (const bool fuse : {true, false}) {
+    Node2VecSampler n2v(g, {3, 2, /*p=*/1.0, /*q=*/1.0, 5});
+    n2v.set_walk_options({.fused = fuse});
+    EXPECT_TRUE(samples_equal(saint.sample_bulk(kBatches, kIds, 11),
+                              n2v.sample_bulk(kBatches, kIds, 11)))
+        << "fused=" << fuse;
+  }
+}
+
+TEST(Node2Vec, BiasedFusedMatchesMatrix) {
+  for (const Graph& g : {er_graph(), rmat_graph()}) {
+    Node2VecSampler fused(g, {4, 1, /*p=*/0.25, /*q=*/4.0, 13});
+    fused.set_walk_options(
+        {.fused = true, .relabel = true, .relabel_min_vertices = 1});
+    Node2VecSampler matrix(g, {4, 1, /*p=*/0.25, /*q=*/4.0, 13});
+    matrix.set_walk_options({.fused = false});
+    ASSERT_TRUE(fused.executor().walk_fusable());
+    EXPECT_TRUE(samples_equal(fused.sample_bulk(kBatches, kIds, 3),
+                              matrix.sample_bulk(kBatches, kIds, 3)));
+  }
+}
+
+TEST(Node2Vec, BiasFactor) {
+  const std::vector<index_t> prev_row = {2, 5, 9};
+  const std::span<const index_t> row(prev_row);
+  // Returning to the previous vertex → 1/p.
+  EXPECT_DOUBLE_EQ(node2vec_bias_factor(7, 7, row, 0.5, 4.0), 2.0);
+  // A neighbor of the previous vertex → 1 (even if it is also in prev_row).
+  EXPECT_DOUBLE_EQ(node2vec_bias_factor(5, 7, row, 0.5, 4.0), 1.0);
+  // Anything else → 1/q.
+  EXPECT_DOUBLE_EQ(node2vec_bias_factor(3, 7, row, 0.5, 4.0), 0.25);
+  // p = q = 1 is exactly unbiased.
+  EXPECT_DOUBLE_EQ(node2vec_bias_factor(3, 7, row, 1.0, 1.0), 1.0);
+}
+
+TEST(Node2Vec, PartitionedMatchesReplicatedBiased) {
+  const Graph g = er_graph();
+  const Node2VecConfig cfg{3, 2, /*p=*/0.5, /*q=*/2.0, 19};
+  Node2VecSampler rep(g, cfg);  // fused by default
+  const ProcessGrid grid(4, 2);
+  PartitionedNode2VecSampler part(g, grid, cfg);
+  EXPECT_TRUE(samples_equal(rep.sample_bulk(kBatches, kIds, 23),
+                            part.sample_bulk(kBatches, kIds, 23)));
+}
+
+// --- plan matching ----------------------------------------------------------
+
+TEST(MatchWalkPlan, RecognizesWalkShapes) {
+  const WalkPlanShape saint = match_walk_plan(build_saint_plan(3, 2));
+  EXPECT_TRUE(saint.matched);
+  EXPECT_FALSE(saint.biased);
+
+  const WalkPlanShape n2v = match_walk_plan(build_node2vec_plan(3, 2, 0.5, 2.0));
+  EXPECT_TRUE(n2v.matched);
+  EXPECT_TRUE(n2v.biased);
+  EXPECT_EQ(n2v.layer_salt, saint.layer_salt);
+  EXPECT_DOUBLE_EQ(n2v.bias_p, 0.5);
+  EXPECT_DOUBLE_EQ(n2v.bias_q, 2.0);
+}
+
+TEST(MatchWalkPlan, RejectsNonWalkShapes) {
+  EXPECT_FALSE(match_walk_plan(build_sage_plan()).matched);
+  EXPECT_FALSE(match_walk_plan(build_ladies_plan()).matched);
+  EXPECT_FALSE(match_walk_plan(build_fastgcn_plan()).matched);
+  EXPECT_FALSE(match_walk_plan(build_pinsage_plan()).matched);
+  // Lowered plans always take the collective matrix path.
+  EXPECT_FALSE(match_walk_plan(lower_to_dist(build_saint_plan(3, 2))).matched);
+}
+
+// --- relabeling -------------------------------------------------------------
+
+TEST(Relabel, DegreeSortedPermutationRoundTrips) {
+  const Graph g = rmat_graph();
+  const CsrMatrix& adj = g.adjacency();
+  const VertexRelabeling r = degree_sorted_relabeling(adj);
+  ASSERT_EQ(r.size(), adj.rows());
+
+  // A bijection: map then unmap is the identity.
+  std::vector<char> seen(static_cast<std::size_t>(r.size()), 0);
+  for (index_t v = 0; v < r.size(); ++v) {
+    const index_t nv = r.map(v);
+    ASSERT_GE(nv, 0);
+    ASSERT_LT(nv, r.size());
+    EXPECT_EQ(r.unmap(nv), v);
+    EXPECT_EQ(seen[static_cast<std::size_t>(nv)], 0);
+    seen[static_cast<std::size_t>(nv)] = 1;
+  }
+
+  // Out-degrees are non-increasing in the new id space.
+  const CsrMatrix relabeled = relabel_adjacency(adj, r);
+  for (index_t v = 1; v < relabeled.rows(); ++v) {
+    EXPECT_LE(relabeled.row_nnz(v), relabeled.row_nnz(v - 1)) << "vertex " << v;
+  }
+
+  // Applying the inverse permutation restores the original adjacency.
+  VertexRelabeling inverse;
+  inverse.to_new = r.to_old;
+  inverse.to_old = r.to_new;
+  EXPECT_TRUE(relabel_adjacency(relabeled, inverse) == adj);
+
+  // Id-list mapping round-trips too.
+  std::vector<index_t> ids = {0, 5, 17, 123};
+  const std::vector<index_t> original = ids;
+  r.map_inplace(ids);
+  r.unmap_inplace(ids);
+  EXPECT_EQ(ids, original);
+}
+
+TEST(WalkEngine, RelabelAndBucketFlags) {
+  const Graph g = rmat_graph();
+  const CsrMatrix& adj = g.adjacency();
+  WalkEngine plain(adj, {.fused = true, .relabel = false});
+  EXPECT_FALSE(plain.relabeled());
+
+  const Graph small = er_graph();
+  WalkEngine small_graph(small.adjacency(), {});
+  // Below relabel_min_vertices the pass is skipped.
+  EXPECT_FALSE(small_graph.relabeled());
+
+  WalkEngine bucketed(adj, {.fused = true, .relabel = true,
+                            .relabel_min_vertices = 1, .bucket_bytes = 4096});
+  EXPECT_TRUE(bucketed.relabeled());
+  EXPECT_GT(bucketed.num_buckets(), 1);
+
+  WalkEngine unbucketed(adj, {.fused = true, .relabel = true,
+                              .relabel_min_vertices = 1, .bucket_bytes = 0});
+  EXPECT_EQ(unbucketed.num_buckets(), 1);
+}
+
+// --- steady-state workspace -------------------------------------------------
+
+TEST(WalkWorkspace, SteadyStateEpochsDoNotGrowArena) {
+  const Graph g = er_graph();
+  for (const bool fuse : {true, false}) {
+    GraphSaintSampler saint(g, {4, 2, 31});
+    saint.set_walk_options({.fused = fuse});
+    Workspace* ws = saint.scratch_workspace();
+    // Two warm runs reach the arena's high-water mark for this epoch (the
+    // list pool is LIFO, so one run can leave buffers in role-mismatched
+    // slots); the frozen rerun of the same epoch must then allocate only
+    // results. (Different epochs walk different frontiers, so their scratch
+    // high-water marks legitimately differ.)
+    (void)saint.sample_bulk(kBatches, kIds, 3);
+    (void)saint.sample_bulk(kBatches, kIds, 3);
+    ws->freeze();
+    (void)saint.sample_bulk(kBatches, kIds, 3);
+    ws->check_steady("test_walk saint epoch");
+    EXPECT_EQ(ws->bytes_held(), ws->frozen_bytes()) << "fused=" << fuse;
+    ws->thaw();
+  }
+  // The biased plan adds the prev slot and raw value scratch; same contract.
+  Node2VecSampler n2v(g, {4, 1, 0.5, 2.0, 31});
+  Workspace* ws = n2v.scratch_workspace();
+  (void)n2v.sample_bulk(kBatches, kIds, 3);
+  (void)n2v.sample_bulk(kBatches, kIds, 3);
+  ws->freeze();
+  (void)n2v.sample_bulk(kBatches, kIds, 3);
+  ws->check_steady("test_walk node2vec epoch");
+  EXPECT_EQ(ws->bytes_held(), ws->frozen_bytes());
+  ws->thaw();
+}
+
+}  // namespace
+}  // namespace dms
