@@ -1,11 +1,14 @@
-// Plan-executor overhead microbench (plain main, no Google Benchmark):
-// runs the same sampling workload through (a) the plan executor — the
-// production path of every sampler since the IR refactor — and (b) a
-// hand-rolled "direct" loop that replays the pre-IR GraphSAGE/LADIES call
-// sequence against the kernels with no IR in between, then reports the
-// relative overhead. --smoke exits nonzero if outputs are not bit-identical
-// or the executor overhead exceeds 3% (the abstraction must stay free);
-// --json=PATH appends rows to the BENCH_micro.json trajectory.
+// Plan-executor overhead + optimizer microbench (plain main, no Google
+// Benchmark). Two comparisons:
+//  (a) plan executor vs a hand-rolled "direct" loop replaying the pre-IR
+//      GraphSAGE/LADIES call sequence — the IR abstraction must stay free;
+//  (b) optimized vs unoptimized plan execution (the DESIGN.md §12 pass
+//      pipeline) on the LADIES and FastGCN shapes — the optimizer must be
+//      bit-identical and must not lose to the unfused plans it replaced.
+// --smoke exits nonzero if any output pair is not bit-identical, executor
+// overhead exceeds 3%, or optimized plans regress past noise; --json=PATH
+// appends rows to the BENCH_micro.json trajectory; --dump-plan prints each
+// builtin plan's listing and its optimize() diff, then exits.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -15,11 +18,15 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "core/fastgcn.hpp"
 #include "core/frontier.hpp"
 #include "core/graphsage.hpp"
 #include "core/its.hpp"
 #include "core/ladies.hpp"
 #include "core/minibatch.hpp"
+#include "plan/builders.hpp"
+#include "plan/executor.hpp"
+#include "plan/optimize.hpp"
 #include "sparse/ops.hpp"
 #include "sparse/spgemm_engine.hpp"
 
@@ -185,6 +192,72 @@ CaseResult run_case(const MatrixSampler& plan_sampler, DirectFn&& direct,
   return r;
 }
 
+// --- optimizer: optimized vs unoptimized execution of the same plan --------
+
+/// Reuses CaseResult with direct_reps = the unoptimized plan and plan_reps =
+/// the optimized one, so overhead() is the optimizer's cost (negative = the
+/// optimizer wins).
+CaseResult run_opt_case(const SamplePlan& plan, const Graph& graph,
+                        const SamplerConfig& cfg,
+                        const std::vector<std::vector<index_t>>& batches,
+                        int reps, int inner,
+                        const std::vector<value_t>* weights) {
+  std::vector<index_t> ids(batches.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<index_t>(i);
+  const PlanExecutor unopt(plan, cfg, {/*optimize=*/false});
+  const PlanExecutor opt(plan, cfg);
+  Workspace wu, wo;
+  CaseResult r;
+  r.bit_identical = true;
+  (void)unopt.run(graph, batches, ids, 0, &wu, weights);
+  (void)opt.run(graph, batches, ids, 0, &wo, weights);
+  for (int rep = 1; rep <= reps; ++rep) {
+    const auto check_seed = static_cast<std::uint64_t>(rep);
+    r.bit_identical =
+        r.bit_identical &&
+        identical(unopt.run(graph, batches, ids, check_seed, &wu, weights),
+                  opt.run(graph, batches, ids, check_seed, &wo, weights));
+    Timer tu;
+    for (int e = 0; e < inner; ++e) {
+      (void)unopt.run(graph, batches, ids,
+                      static_cast<std::uint64_t>(rep * inner + e), &wu, weights);
+    }
+    r.direct_reps.push_back(tu.seconds());
+    Timer to;
+    for (int e = 0; e < inner; ++e) {
+      (void)opt.run(graph, batches, ids,
+                    static_cast<std::uint64_t>(rep * inner + e), &wo, weights);
+    }
+    r.plan_reps.push_back(to.seconds());
+  }
+  return r;
+}
+
+std::size_t op_count(const SamplePlan& p) {
+  return p.body.size() + p.epilogue.size();
+}
+
+// --- --dump-plan: listings and optimize() diffs for the builtin plans ------
+
+int dump_plans() {
+  const std::vector<std::pair<const char*, SamplePlan>> plans = {
+      {"sage", build_sage_plan()},
+      {"ladies", build_ladies_plan()},
+      {"fastgcn", build_fastgcn_plan()},
+      {"labor", build_labor_plan()},
+      {"saint_rw", build_saint_plan(3, 2)},
+      {"ladies (lowered)", lower_to_dist(build_ladies_plan())},
+  };
+  for (const auto& [name, plan] : plans) {
+    const SamplePlan after = optimize(plan);
+    std::printf("=== %s: %zu ops -> %zu ops ===\n%s", name, op_count(plan),
+                op_count(after), describe(plan).c_str());
+    std::printf("--- optimize() diff ---\n%s\n",
+                describe_diff(plan, after).c_str());
+  }
+  return 0;
+}
+
 int run(bool smoke, const std::string& json_path) {
   const Dataset& ds = bench::dataset("products");
   const int reps = smoke ? 7 : 11;
@@ -223,6 +296,38 @@ int run(bool smoke, const std::string& json_path) {
       1.0;
   std::printf("  combined overhead %+.2f%%\n", 100.0 * combined);
 
+  // Optimized vs unoptimized plans (the DESIGN.md §12 pass pipeline).
+  // LADIES is the shape the optimizer was built for (normalize + slice
+  // fusion drop its body from 7 to 5 ops and move the row normalization
+  // into the engine's parallel per-block epilogue); FastGCN has nothing to
+  // fuse, so it measures the pipeline's no-op cost (stamping only).
+  const SamplePlan ladies_plan = build_ladies_plan();
+  const SamplePlan fastgcn_plan = build_fastgcn_plan();
+  const std::vector<value_t> fg_weights = fastgcn_importance_prefix(ds.graph);
+  const CaseResult opt_ladies =
+      run_opt_case(ladies_plan, ds.graph, ladies_cfg, batches, reps, 24, nullptr);
+  const CaseResult opt_fastgcn = run_opt_case(fastgcn_plan, ds.graph, ladies_cfg,
+                                              batches, reps, 24, &fg_weights);
+  const std::size_t ladies_ops_saved =
+      op_count(ladies_plan) - op_count(optimize(ladies_plan));
+
+  std::printf("Optimized vs unoptimized plan execution (median of %d paired "
+              "reps):\n", reps);
+  std::printf("  %-8s unopt %.4fs  opt %.4fs  speedup %+.2f%%  bits %s\n",
+              "ladies", opt_ladies.direct_s(), opt_ladies.plan_s(),
+              -100.0 * opt_ladies.overhead(),
+              opt_ladies.bit_identical ? "identical" : "DIFFER");
+  std::printf("  %-8s unopt %.4fs  opt %.4fs  speedup %+.2f%%  bits %s\n",
+              "fastgcn", opt_fastgcn.direct_s(), opt_fastgcn.plan_s(),
+              -100.0 * opt_fastgcn.overhead(),
+              opt_fastgcn.bit_identical ? "identical" : "DIFFER");
+  const double opt_combined =
+      (opt_ladies.plan_s() + opt_fastgcn.plan_s()) /
+          (opt_ladies.direct_s() + opt_fastgcn.direct_s()) -
+      1.0;
+  std::printf("  combined speedup %+.2f%% (ladies body: %zu ops fused away)\n",
+              -100.0 * opt_combined, ladies_ops_saved);
+
   if (!json_path.empty()) {
     bench::JsonWriter json(json_path, /*append=*/true);
     if (!json.ok()) {
@@ -248,6 +353,26 @@ int run(bool smoke, const std::string& json_path) {
               {"overhead_pct", 100.0 * combined},
               {"bit_identical",
                sage_r.bit_identical && ladies_r.bit_identical ? "yes" : "no"}});
+    const std::string opt_id =
+        std::string("micro_plan/optimize") + (smoke ? " (smoke)" : "");
+    for (const auto& [name, r] :
+         {std::pair<const char*, const CaseResult&>{"ladies", opt_ladies},
+          std::pair<const char*, const CaseResult&>{"fastgcn", opt_fastgcn}}) {
+      json.row({{"bench", opt_id},
+                {"case", name},
+                {"unopt_s", r.direct_s()},
+                {"opt_s", r.plan_s()},
+                {"speedup_pct", -100.0 * r.overhead()},
+                {"bit_identical", r.bit_identical ? "yes" : "no"}});
+    }
+    json.row({{"bench", opt_id},
+              {"case", "combined"},
+              {"unopt_s", opt_ladies.direct_s() + opt_fastgcn.direct_s()},
+              {"opt_s", opt_ladies.plan_s() + opt_fastgcn.plan_s()},
+              {"speedup_pct", -100.0 * opt_combined},
+              {"bit_identical",
+               opt_ladies.bit_identical && opt_fastgcn.bit_identical ? "yes"
+                                                                     : "no"}});
     std::printf("JSON appended to %s\n", json_path.c_str());
   }
 
@@ -274,8 +399,40 @@ int run(bool smoke, const std::string& json_path) {
                    100.0 * kMaxPerCase);
       return 1;
     }
+    // The optimizer must earn its keep: bit-identical always; the shape it
+    // fuses (LADIES) must not lose to the unoptimized PR-5 plan it
+    // replaced, and must actually have fused ops; the shape it cannot fuse
+    // (FastGCN) may only cost noise. Bounds mirror the executor gate above:
+    // per-case numbers on millisecond epochs swing several percent with
+    // machine state (FastGCN's optimized plan is structurally identical to
+    // its unoptimized one, so its case is pure noise floor), while the
+    // combined number is stable; a real regression shows up far past both.
+    constexpr double kMaxOptRegress = 0.03;
+    constexpr double kMaxOptRegressPerCase = 0.10;
+    if (!opt_ladies.bit_identical || !opt_fastgcn.bit_identical) {
+      std::fprintf(stderr,
+                   "FAIL: optimized plan outputs diverge from unoptimized\n");
+      return 1;
+    }
+    if (ladies_ops_saved < 2) {
+      std::fprintf(stderr, "FAIL: optimizer fused %zu LADIES ops, expected 2\n",
+                   ladies_ops_saved);
+      return 1;
+    }
+    if (opt_ladies.overhead() > kMaxOptRegressPerCase ||
+        opt_fastgcn.overhead() > kMaxOptRegressPerCase ||
+        opt_combined > kMaxOptRegress) {
+      std::fprintf(stderr,
+                   "FAIL: optimized plans slower than unoptimized "
+                   "(ladies %+.2f%%, fastgcn %+.2f%%, combined %+.2f%%, "
+                   "allowed %.0f%%)\n",
+                   100.0 * opt_ladies.overhead(), 100.0 * opt_fastgcn.overhead(),
+                   100.0 * opt_combined, 100.0 * kMaxOptRegressPerCase);
+      return 1;
+    }
     std::printf("SMOKE OK: bit-identical, combined overhead under %.0f%%, "
-                "per-case under %.0f%%\n",
+                "per-case under %.0f%%, optimized plans no worse than "
+                "unoptimized\n",
                 100.0 * kMaxCombined, 100.0 * kMaxPerCase);
   }
   return 0;
@@ -291,6 +448,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--dump-plan") {
+      return dms::dump_plans();
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
     }

@@ -8,6 +8,7 @@
 #include "core/graphsage.hpp"  // sage_extract_layer (shared EXTRACT, §4.1.3)
 #include "core/its.hpp"
 #include "core/ladies.hpp"  // ladies_indicator_rows / ladies_norm / assemble
+#include "plan/optimize.hpp"  // PlanCache
 #include "sparse/ops.hpp"
 #include "sparse/spgemm_engine.hpp"
 
@@ -246,31 +247,27 @@ void exec_spgemm(RunCtx& ctx, const PlanOp& op) {
               std::to_string(ctx.adj->rows()));
     SpgemmOptions sopts;
     sopts.workspace = ctx.ws;
+    sopts.cost = op.cost;
+    if (op.fused_norm) {
+      // Absorbed kNormalize runs as the engine's per-block epilogue: the
+      // same per-row arithmetic, but parallel across blocks on
+      // cache-resident rows instead of a serial pass over the stitched
+      // product.
+      sopts.epilogue = op.norm == NormMode::kRow
+                           ? SpgemmEpilogue::kRowNormalize
+                           : SpgemmEpilogue::kLadiesNormalize;
+    }
     PlanValue& out = slot_ref(ctx, r, op.out, op);
     out.kind = PlanValue::Kind::kMatrix;
     out.m = spgemm(q, *ctx.adj, sopts);
   });
 }
 
-/// True iff `op` is the only op in the plan reading slot `op.in` — then its
-/// executor may move the value out instead of copying (the slot's producer
-/// precedes any reader in program order, so the next round re-fills it
-/// before it is read again).
-bool sole_reader_of_input(const SamplePlan& plan, const PlanOp& op) {
-  int readers = 0;
-  for (const auto* ops : {&plan.body, &plan.epilogue}) {
-    for (const PlanOp& other : *ops) {
-      readers += (other.in == op.in) + (other.in2 == op.in);
-    }
-  }
-  return readers == 1;
-}
-
 void exec_spgemm_15d(RunCtx& ctx, const PlanOp& op) {
   check(ctx.cluster != nullptr && ctx.dadj != nullptr,
         op_where(ctx, op) + ": kSpgemm15d requires partitioned execution");
   const auto rows = ctx.rows.size();
-  const bool can_move = sole_reader_of_input(ctx.plan, op);
+  const bool can_move = op.sole_reader_in || sole_reader_of_input(ctx.plan, op);
   std::vector<CsrMatrix> blocks(rows);
   for (std::size_t i = 0; i < rows; ++i) {
     // A stopped process row (walk plans: every walk terminated) contributes
@@ -293,12 +290,31 @@ void exec_spgemm_15d(RunCtx& ctx, const PlanOp& op) {
   sopts.phase = op.phase;
   sopts.local = ctx.local;
   sopts.local.workspace = ctx.ws;
+  sopts.local.cost = op.cost;
   auto products = spgemm_15d(*ctx.cluster, blocks, *ctx.dadj, sopts);
   for (std::size_t i = 0; i < rows; ++i) {
     if (ctx.rows[i].stopped) continue;
     PlanValue& out = slot_ref(ctx, ctx.rows[i], op.out, op);
     out.kind = PlanValue::Kind::kMatrix;
     out.m = std::move(products[i]);
+  }
+  if (op.fused_norm) {
+    // The 1.5D product's per-panel partials must all-reduce before any
+    // normalization (a row's sum spans panels), so the absorbed kNormalize
+    // runs here as a post-pass — same arithmetic, same bits.
+    double max_t = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (ctx.rows[i].stopped) continue;
+      Timer t;
+      CsrMatrix& m = as_matrix(ctx, ctx.rows[i], op.out, op);
+      if (op.norm == NormMode::kRow) {
+        normalize_rows(m);
+      } else {
+        ladies_norm(m);
+      }
+      max_t = std::max(max_t, t.seconds());
+    }
+    ctx.cluster->add_compute(op.phase, max_t);
   }
 }
 
@@ -405,13 +421,37 @@ void exec_slice(RunCtx& ctx, const PlanOp& op) {
   });
 }
 
+/// The per-batch sampled sets a masked extraction reads. Plain ops read them
+/// from the sets slot (op.in); a slice_fused op (optimizer pass 2) reads the
+/// sampled-columns matrix instead and materializes the sets into the
+/// absorbed kSlice's output slot (op.out2) — exactly the lists exec_slice
+/// would have produced, so downstream readers see identical values.
+const std::vector<std::vector<index_t>>& resolve_sampled_sets(RunCtx& ctx,
+                                                              RowState& r,
+                                                              const PlanOp& op) {
+  if (!op.slice_fused) return as_lists(ctx, r, op.in, op);
+  const CsrMatrix& m = as_matrix(ctx, r, op.in, op);
+  check(static_cast<std::size_t>(m.rows()) == r.out.size(),
+        op_where(ctx, op) + ": shape mismatch, matrix rows " +
+            std::to_string(m.rows()) + " vs " + std::to_string(r.out.size()) +
+            " batches");
+  PlanValue& sets = slot_ref(ctx, r, op.out2, op);
+  sets.kind = PlanValue::Kind::kLists;
+  sets.lists.assign(r.out.size(), {});
+  for (std::size_t b = 0; b < r.out.size(); ++b) {
+    const auto cols = m.row_cols(static_cast<index_t>(b));
+    sets.lists[b].assign(cols.begin(), cols.end());
+  }
+  return sets.lists;
+}
+
 void exec_masked_extract(RunCtx& ctx, const PlanOp& op) {
   check(ctx.adj != nullptr,
         op_where(ctx, op) + ": kMaskedExtract needs a replicated adjacency "
                             "(partitioned runs require a lowered plan)");
   rows_op(ctx, op, [&](RowState& r, std::size_t) {
     const auto& frontier = as_lists(ctx, r, ctx.plan.frontier_slot, op);
-    const auto& sets = as_lists(ctx, r, op.in, op);
+    const auto& sets = resolve_sampled_sets(ctx, r, op);
     PlanValue& out = slot_ref(ctx, r, op.out, op);
     out.kind = PlanValue::Kind::kMatrixList;
     out.mats.assign(r.out.size(), CsrMatrix());
@@ -449,7 +489,7 @@ void exec_masked_extract_15d(RunCtx& ctx, const PlanOp& op) {
   // Stage 3 (row-local, timed): per-batch slice + masked column extraction.
   rows_op(ctx, op, [&](RowState& r, std::size_t i) {
     const auto& off = stacks[i].offsets;
-    const auto& sets = as_lists(ctx, r, op.in, op);
+    const auto& sets = resolve_sampled_sets(ctx, r, op);
     PlanValue& out = slot_ref(ctx, r, op.out, op);
     out.kind = PlanValue::Kind::kMatrixList;
     out.mats.assign(r.out.size(), CsrMatrix());
@@ -630,10 +670,13 @@ void exec_induced_layers(RunCtx& ctx, const PlanOp& op) {
 /// the unfused ops; only op-stat attribution is computed from the two
 /// accumulated timers.
 bool fusable_masked_union(const RunCtx& ctx, const PlanOp& op, const PlanOp& next) {
+  // The union must read the same sets the extraction used: the sets slot
+  // itself, or — when a kSlice was absorbed (slice_fused) — the slot the
+  // extraction re-materializes them into (op.out2).
   return ctx.cluster == nullptr && op.kind == PlanOpKind::kMaskedExtract &&
          next.kind == PlanOpKind::kFrontierUnion &&
          next.assemble == AssembleMode::kSampledSets && next.in == op.out &&
-         next.in2 == op.in;
+         next.in2 == (op.slice_fused ? op.out2 : op.in);
 }
 
 void exec_masked_union_fused(RunCtx& ctx, const PlanOp& mask_op,
@@ -643,7 +686,9 @@ void exec_masked_union_fused(RunCtx& ctx, const PlanOp& mask_op,
   for (RowState& r : ctx.rows) {
     if (r.stopped) continue;
     auto& frontier = as_lists(ctx, r, ctx.plan.frontier_slot, mask_op);
-    const auto& sets = as_lists(ctx, r, mask_op.in, mask_op);
+    Timer tr;
+    const auto& sets = resolve_sampled_sets(ctx, r, mask_op);
+    *mask_seconds += tr.seconds();
     // The out slot stays bound (empty) so downstream reads still type-check.
     PlanValue& out = slot_ref(ctx, r, mask_op.out, mask_op);
     out.kind = PlanValue::Kind::kMatrixList;
@@ -686,10 +731,19 @@ void exec_op(RunCtx& ctx, const PlanOp& op, index_t round) {
 
 }  // namespace
 
-PlanExecutor::PlanExecutor(SamplePlan plan, SamplerConfig config)
-    : plan_(std::move(plan)), config_(std::move(config)) {
-  validate_plan(plan_);
-  walk_shape_ = match_walk_plan(plan_);
+PlanExecutor::PlanExecutor(SamplePlan plan, SamplerConfig config,
+                           PlanExecOptions opts)
+    : config_(std::move(config)) {
+  validate_plan(plan);
+  if (opts.optimize) {
+    // Optimized form, shared process-wide: every executor over the same
+    // plan shape + fanouts (training epochs, coalesced serving batches,
+    // replica engines) reuses one immutable SamplePlan.
+    plan_ = PlanCache::global().get_or_optimize(plan, config_);
+  } else {
+    plan_ = std::make_shared<const SamplePlan>(std::move(plan));
+  }
+  walk_shape_ = match_walk_plan(*plan_);
 }
 
 std::map<std::string, double> PlanExecutor::op_seconds() const {
@@ -841,14 +895,14 @@ std::vector<MinibatchSample> PlanExecutor::run(
   // heterogeneous per-batch sizes — one-seed requests stack next to
   // training-sized batches).
   if (batches.empty()) return {};
-  check(!plan_.distributed,
-        "PlanExecutor::run: plan '" + plan_.name +
+  check(!plan_->distributed,
+        "PlanExecutor::run: plan '" + plan_->name +
             "' is dist-lowered; use run_partitioned");
   check(ws != nullptr, "PlanExecutor::run: workspace required");
-  check(!plan_.needs_global_weights || global_weights != nullptr,
-        "PlanExecutor::run: plan '" + plan_.name +
+  check(!plan_->needs_global_weights || global_weights != nullptr,
+        "PlanExecutor::run: plan '" + plan_->name +
             "' needs bound global weights");
-  RunCtx ctx{plan_, config_};
+  RunCtx ctx{*plan_, config_};
   ctx.n = graph.num_vertices();
   ctx.adj = &graph.adjacency();
   ctx.batch_ids = &batch_ids;
@@ -881,14 +935,14 @@ std::vector<std::vector<MinibatchSample>> PlanExecutor::run_partitioned(
     const std::vector<value_t>* global_weights) const {
   check(batches.size() == batch_ids.size(),
         "PlanExecutor::run_partitioned: ids/batches mismatch");
-  check(plan_.distributed,
-        "PlanExecutor::run_partitioned: plan '" + plan_.name +
+  check(plan_->distributed,
+        "PlanExecutor::run_partitioned: plan '" + plan_->name +
             "' is not dist-lowered (lower_to_dist)");
   check(ws != nullptr, "PlanExecutor::run_partitioned: workspace required");
-  check(!plan_.needs_global_weights || global_weights != nullptr,
-        "PlanExecutor::run_partitioned: plan '" + plan_.name +
+  check(!plan_->needs_global_weights || global_weights != nullptr,
+        "PlanExecutor::run_partitioned: plan '" + plan_->name +
             "' needs bound global weights");
-  RunCtx ctx{plan_, config_};
+  RunCtx ctx{*plan_, config_};
   ctx.n = adj.rows();
   ctx.dadj = &adj;
   ctx.cluster = &cluster;

@@ -35,13 +35,23 @@ struct PlanOpStats {
   std::uint64_t calls = 0;
 };
 
+/// Construction-time knobs. By default the plan is run through the optimizer
+/// pass pipeline (plan/optimize.hpp) via the process-wide PlanCache, so
+/// executors over the same plan shape + fanouts share one optimized plan.
+struct PlanExecOptions {
+  bool optimize = true;
+};
+
 class PlanExecutor {
  public:
-  /// Validates and stores the plan. `config` supplies the per-round fanouts
-  /// (and must outlast nothing — it is copied).
-  PlanExecutor(SamplePlan plan, SamplerConfig config);
+  /// Validates the plan, then (unless opts.optimize is off) swaps it for the
+  /// cached optimized form. `config` supplies the per-round fanouts (and
+  /// must outlast nothing — it is copied).
+  PlanExecutor(SamplePlan plan, SamplerConfig config, PlanExecOptions opts = {});
 
-  const SamplePlan& plan() const { return plan_; }
+  /// The plan actually executed (the optimized form by default — possibly
+  /// shared with other executors through PlanCache).
+  const SamplePlan& plan() const { return *plan_; }
   const SamplerConfig& config() const { return config_; }
 
   /// Replicated / single-node execution: runs the (unlowered) plan against
@@ -95,7 +105,7 @@ class PlanExecutor {
   std::uint64_t walk_steps() const { return walk_steps_; }
 
  private:
-  SamplePlan plan_;
+  std::shared_ptr<const SamplePlan> plan_;
   SamplerConfig config_;
   /// Per-op accounting. Samplers drive their executor sequentially (the
   /// Workspace ownership contract), so mutation from const runs is safe.

@@ -35,7 +35,9 @@ OpShape op_shape(const PlanOp& op) {
       return {true, false, true, false};
     case PlanOpKind::kMaskedExtract:
     case PlanOpKind::kMaskedExtract15d:
-      return {true, false, true, false};  // in = sampled sets; rows = frontier
+      // in = sampled sets (or the sampled-columns matrix when a kSlice was
+      // fused in, which then also writes the sets to out2); rows = frontier.
+      return {true, false, true, op.slice_fused};
     case PlanOpKind::kFrontierUnion:
       return {true, true, false, false};
     case PlanOpKind::kWalkAdvance:
@@ -79,6 +81,12 @@ void validate_ops(const SamplePlan& plan, const std::vector<PlanOp>& ops,
             where + ": unbound slot " + std::to_string(s) +
                 " (read before any write)");
     }
+    check(!op.fused_norm || op.kind == PlanOpKind::kSpgemm ||
+              op.kind == PlanOpKind::kSpgemm15d,
+          where + ": fused_norm is only valid on spgemm ops");
+    check(!op.slice_fused || op.kind == PlanOpKind::kMaskedExtract ||
+              op.kind == PlanOpKind::kMaskedExtract15d,
+          where + ": slice_fused is only valid on masked-extraction ops");
     check(plan.distributed || !is_dist_only(op.kind),
           where + ": distributed op in an unlowered plan");
     check(!plan.distributed ||
@@ -176,6 +184,16 @@ std::string to_string(PlanOpKind kind) {
   return "unknown";
 }
 
+bool sole_reader_of_input(const SamplePlan& plan, const PlanOp& op) {
+  int readers = 0;
+  for (const auto* ops : {&plan.body, &plan.epilogue}) {
+    for (const PlanOp& other : *ops) {
+      readers += (other.in == op.in) + (other.in2 == op.in);
+    }
+  }
+  return readers == 1;
+}
+
 std::string describe(const SamplePlan& plan) {
   std::ostringstream os;
   os << "plan " << plan.name << (plan.distributed ? " [dist]" : "") << ": "
@@ -191,6 +209,10 @@ std::string describe(const SamplePlan& plan) {
       if (op.out != kNoSlot) os << " out=s" << op.out;
       if (op.out2 != kNoSlot) os << " out2=s" << op.out2;
       if (op.fixed_s >= 0) os << " s=" << op.fixed_s;
+      if (op.fused_norm) {
+        os << " +norm(" << (op.norm == NormMode::kRow ? "row" : "ladies") << ")";
+      }
+      if (op.slice_fused) os << " +slice";
       os << "\n";
     }
   };

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "sparse/spgemm_cost.hpp"
 
 namespace dms {
 
@@ -148,6 +149,25 @@ struct PlanOp {
   /// kWalkBias: the node2vec return (p) and in-out (q) parameters.
   value_t bias_p = 1.0;
   value_t bias_q = 1.0;
+  // --- optimizer stamps (plan/optimize.hpp; builders never set these) ---
+  /// kSpgemm/kSpgemm15d: apply `norm` to the product (the adjacent
+  /// kNormalize this op absorbed). Replicated execution runs it as the
+  /// engine's fused per-block epilogue; the 1.5D form normalizes after the
+  /// all-reduce (partials must sum first). Bit-identical either way.
+  bool fused_norm = false;
+  /// kMaskedExtract/kMaskedExtract15d: `in` holds the sampled-columns
+  /// MATRIX (the absorbed kSlice's input); the op reads its per-batch
+  /// sampled sets from that matrix's rows and also writes them to `out2`
+  /// (the absorbed kSlice's output slot) for downstream readers.
+  bool slice_fused = false;
+  /// Stamped analysis: this op is the only reader of `in`, so its executor
+  /// may move the slot value instead of copying (recomputed at run time
+  /// when unstamped — an unoptimized plan behaves identically).
+  bool sole_reader_in = false;
+  /// kSpgemm/kSpgemm15d kAuto dispatch cost model, threaded into
+  /// SpgemmOptions by the executor. Defaults reproduce the engine's
+  /// historical threshold; kernel choice never affects result bits.
+  SpgemmCostModel cost{};
 };
 
 /// A compiled sampler: the op program plus its slot/loop structure.
@@ -199,7 +219,15 @@ SamplePlan lower_to_dist(const SamplePlan& plan);
 
 std::string to_string(PlanOpKind kind);
 
+/// True iff `op` is the only op in the plan reading slot `op.in` — then its
+/// executor may move the value out instead of copying (the slot's producer
+/// precedes any reader in program order, so the next round re-fills it
+/// before it is read again). The optimizer stamps this onto
+/// PlanOp::sole_reader_in; unstamped ops recompute it per run.
+bool sole_reader_of_input(const SamplePlan& plan, const PlanOp& op);
+
 /// Human-readable program listing (one op per line), for docs and tests.
+/// Optimizer stamps show up as `+norm(...)` / `+slice` markers.
 std::string describe(const SamplePlan& plan);
 
 }  // namespace dms

@@ -40,12 +40,17 @@ void Coalescer::push(ServeRequest r) { queue_.push(std::move(r)); }
 
 double Coalescer::ready_at() const {
   check(!queue_.empty(), "Coalescer::ready_at: no pending requests");
-  // Cap met: the batch closed the instant the cap-th request arrived.
+  // The oldest request's deadline bounds the wait; a met cap closes the
+  // batch the instant the cap-th request arrived, but only ever earlier —
+  // a cap filled by a far-future arrival must not delay requests whose
+  // deadline already passed (the server-busy backlog case).
+  const double deadline = queue_.front().arrival + cfg_.window;
   if (queue_.size() >= static_cast<std::size_t>(cfg_.max_requests)) {
-    return queue_.at(static_cast<std::size_t>(cfg_.max_requests) - 1).arrival;
+    return std::min(
+        deadline,
+        queue_.at(static_cast<std::size_t>(cfg_.max_requests) - 1).arrival);
   }
-  // Otherwise the oldest request's deadline bounds the wait.
-  return queue_.front().arrival + cfg_.window;
+  return deadline;
 }
 
 CoalescedBatch Coalescer::pop(double now) {

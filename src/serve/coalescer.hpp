@@ -93,10 +93,11 @@ class Coalescer {
   std::size_t pending() const { return queue_.size(); }
 
   /// Earliest instant the admission policy closes the next batch: the
-  /// arrival of the cap-th queued request when the cap is already met,
-  /// otherwise the oldest request's deadline (arrival + window). Requires a
-  /// non-empty queue. A caller whose server frees later than ready_at()
-  /// simply pops then — backlog coalesces naturally.
+  /// oldest request's deadline (arrival + window), pulled earlier to the
+  /// cap-th queued request's arrival when the cap fills before the deadline
+  /// — filling the cap can only hasten a batch, never delay one past the
+  /// deadline. Requires a non-empty queue. A caller whose server frees
+  /// later than ready_at() simply pops then — backlog coalesces naturally.
   double ready_at() const;
 
   /// Closes a batch at `now`: up to max_requests requests with

@@ -6,6 +6,7 @@
 #include "common/timer.hpp"
 #include "common/workspace.hpp"
 #include "nn/model.hpp"
+#include "plan/optimize.hpp"
 
 namespace dms {
 
@@ -28,7 +29,9 @@ ServeEngine::ServeEngine(const Graph& graph, FeatureStore& features,
   ctx.grid = grid;
   ctx.part_opts = cfg_.part_opts;
   ctx.cluster = cluster;
+  const std::uint64_t hits_before = PlanCache::global().stats().hits;
   sampler_ = make_sampler(cfg_.sampler, cfg_.mode, graph, ctx);
+  plan_cache_hit_ = PlanCache::global().stats().hits > hits_before;
   check(sampler_->scratch_workspace() != nullptr,
         "ServeEngine: sampler exposes no scratch arena (steady-state serving "
         "requires a plan-backed sampler)");

@@ -106,6 +106,12 @@ class ServeEngine {
 
   bool warmed() const { return warmed_; }
 
+  /// Whether this engine's sampler reused an already-optimized plan from the
+  /// process-wide PlanCache (replica engines and engines sharing a sampler
+  /// shape with training hit; the first engine of a shape misses and pays
+  /// the one-time optimization).
+  bool plan_cache_hit() const { return plan_cache_hit_; }
+
   const ServeStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 
@@ -134,6 +140,7 @@ class ServeEngine {
   std::vector<std::vector<index_t>> batch_seeds_;
   std::vector<index_t> batch_ids_;
   bool warmed_ = false;
+  bool plan_cache_hit_ = false;
 };
 
 }  // namespace dms

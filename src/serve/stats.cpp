@@ -6,8 +6,11 @@
 namespace dms {
 
 double percentile(std::vector<double> sample, double q) {
-  check(!sample.empty(), "percentile: empty sample");
   check(q >= 0.0 && q <= 100.0, "percentile: q must be in [0, 100]");
+  // An empty sample reports 0 rather than throwing: percentile feeds
+  // summary paths (stats dumps, bench tables) that legitimately run before
+  // any request completes — a reset-then-report sequence used to crash.
+  if (sample.empty()) return 0.0;
   std::sort(sample.begin(), sample.end());
   // Nearest-rank: the smallest value with at least q% of the sample at or
   // below it.

@@ -61,7 +61,7 @@ class ServeStats {
   double mean_batch_size() const;
 
   /// Nearest-rank percentile (q in [0, 100]) of end-to-end request latency
-  /// (queue wait + service). Throws with no recorded requests.
+  /// (queue wait + service). 0 with no recorded requests.
   double latency_percentile(double q) const;
   /// Nearest-rank percentile of queue wait alone.
   double queue_wait_percentile(double q) const;
@@ -80,7 +80,8 @@ class ServeStats {
 };
 
 /// Nearest-rank percentile over an unsorted sample (q in [0, 100]); exposed
-/// for the bench's throughput tables. Throws on an empty sample.
+/// for the bench's throughput tables. 0 on an empty sample (summary paths
+/// may run before any request completes).
 double percentile(std::vector<double> sample, double q);
 
 }  // namespace dms

@@ -400,6 +400,32 @@ void check_mask(const std::vector<index_t>& mask, index_t cols, const char* who)
   }
 }
 
+/// Applies the fused normalization epilogue to one block's staged rows
+/// (slot.vals holds the block's rows contiguously, in row order, lengths in
+/// slot.row_nnz). Entry order per row matches ladies_norm/normalize_rows on
+/// the stitched matrix exactly, so the fused product stays bit-identical to
+/// product-then-normalize — the block just does the work while its rows are
+/// still cache-resident, in parallel with the other blocks.
+void apply_epilogue(WorkspaceSlot& slot, SpgemmEpilogue epilogue) {
+  if (epilogue == SpgemmEpilogue::kNone) return;
+  auto& vals = slot.vals;
+  if (epilogue == SpgemmEpilogue::kLadiesNormalize) {
+    for (auto& v : vals) v = v * v;
+  }
+  std::size_t k = 0;
+  for (const nnz_t len : slot.row_nnz) {
+    value_t s = 0.0;
+    for (nnz_t i = 0; i < len; ++i) s += vals[k + static_cast<std::size_t>(i)];
+    if (s != 0.0) {
+      const value_t inv = 1.0 / s;
+      for (nnz_t i = 0; i < len; ++i) {
+        vals[k + static_cast<std::size_t>(i)] *= inv;
+      }
+    }
+    k += static_cast<std::size_t>(len);
+  }
+}
+
 /// Runs body(blk) for every block, in parallel when there is more than one.
 template <typename Fn>
 void for_blocks(const std::vector<index_t>& bounds, Fn&& body) {
@@ -414,11 +440,10 @@ void for_blocks(const std::vector<index_t>& bounds, Fn&& body) {
 }  // namespace
 
 SpgemmKernel spgemm_pick_kernel(nnz_t block_flops, index_t out_cols) {
-  // The dense accumulator pays O(out_cols) to initialize its workspace; the
-  // hash kernel pays ~constant-factor overhead per multiply-add (probing +
-  // per-row sort). Dense wins once the block's flop volume amortizes the
-  // workspace; the crossover factor 4 approximates that per-flop overhead.
-  return block_flops * 4 >= out_cols ? SpgemmKernel::kDense : SpgemmKernel::kHash;
+  // The default cost model's boundary is exactly the engine's historical
+  // hard-coded crossover (dense iff 4·flops >= out_cols); see
+  // sparse/spgemm_cost.hpp for the model the threshold generalizes to.
+  return SpgemmCostModel{}.pick(block_flops, out_cols);
 }
 
 CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b, const SpgemmOptions& opts) {
@@ -467,15 +492,16 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b, const SpgemmOptions& op
     }
     if (masked) {
       masked_block(a, b, *opts.column_mask, lookup, r0, r1, slot);
-      return;
-    }
-    SpgemmKernel kernel = opts.kernel;
-    if (kernel == SpgemmKernel::kAuto) kernel = spgemm_pick_kernel(block_flops, n);
-    if (kernel == SpgemmKernel::kHash) {
-      hash_block(a, b, r0, r1, prefix, slot);
     } else {
-      dense_block(a, b, r0, r1, slot);
+      SpgemmKernel kernel = opts.kernel;
+      if (kernel == SpgemmKernel::kAuto) kernel = opts.cost.pick(block_flops, n);
+      if (kernel == SpgemmKernel::kHash) {
+        hash_block(a, b, r0, r1, prefix, slot);
+      } else {
+        dense_block(a, b, r0, r1, slot);
+      }
     }
+    apply_epilogue(slot, opts.epilogue);
   });
 
   const index_t out_cols =

@@ -34,11 +34,19 @@
 
 #include "common/workspace.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/spgemm_cost.hpp"  // SpgemmKernel, SpgemmCostModel
 
 namespace dms {
 
-/// Kernel selector. kAuto lets the symbolic-phase estimator pick per block.
-enum class SpgemmKernel { kAuto, kDense, kHash, kMasked };
+/// Row-wise normalization fused into the numeric phase: each block
+/// normalizes its staged rows while they are still cache-resident (and in
+/// parallel with the other blocks), instead of a separate serial pass over
+/// the stitched product. kRowNormalize divides every row by its sum;
+/// kLadiesNormalize squares entries first (p_v ∝ e_v², Zou et al. 2019).
+/// Both are per-row and applied in the exact entry order of the post-hoc
+/// normalize_rows/ladies_norm passes, so fused products are bit-identical
+/// to product-then-normalize.
+enum class SpgemmEpilogue { kNone, kRowNormalize, kLadiesNormalize };
 
 /// Options controlling the SpGEMM engine.
 struct SpgemmOptions {
@@ -46,6 +54,12 @@ struct SpgemmOptions {
   bool parallel = true;
   /// Kernel override; kAuto dispatches per row block.
   SpgemmKernel kernel = SpgemmKernel::kAuto;
+  /// kAuto's per-block dense-vs-hash decision (sparse/spgemm_cost.hpp). The
+  /// default model reproduces the historical threshold; the plan optimizer
+  /// threads per-op models through here. Never affects result bits.
+  SpgemmCostModel cost{};
+  /// Fused row normalization applied per block before stitching.
+  SpgemmEpilogue epilogue = SpgemmEpilogue::kNone;
   /// When non-null: compute only these columns of the product (must be
   /// sorted and duplicate-free; ids index the product's column space), and
   /// renumber them 0..mask.size()-1 in order. Forces the masked kernel.
@@ -76,7 +90,8 @@ CsrMatrix spgemm_masked(const CsrMatrix& a, const std::vector<index_t>& mask,
                         const SpgemmOptions& opts = {});
 
 /// Kernel the kAuto estimator picks for a row block performing `block_flops`
-/// multiply-adds into `out_cols` output columns. Exposed so tests and the
+/// multiply-adds into `out_cols` output columns under the DEFAULT cost
+/// model (SpgemmCostModel{}.pick). Exposed so tests and the
 /// kernel-comparison bench can pin down the dispatch boundary.
 SpgemmKernel spgemm_pick_kernel(nnz_t block_flops, index_t out_cols);
 

@@ -46,10 +46,23 @@ struct FeatureCacheStats {
   std::size_t bytes_moved = 0;  ///< payload that crossed the wire
   std::size_t bytes_saved = 0;  ///< payload avoided by cache hits
 
+  /// Per-interval delta between two cumulative snapshots. Counters are
+  /// monotone, so the minuend must be the later snapshot — subtracting the
+  /// other way used to wrap the unsigned fields into garbage ~2^64 deltas;
+  /// now each field is checked before it is subtracted.
   FeatureCacheStats operator-(const FeatureCacheStats& o) const {
-    return {requested - o.requested, hits - o.hits,     misses - o.misses,
-            local - o.local,         bytes_moved - o.bytes_moved,
-            bytes_saved - o.bytes_saved};
+    auto sub = [](std::size_t a, std::size_t b, const char* field) {
+      check(a >= b, std::string("FeatureCacheStats::operator-: ") + field +
+                        " would underflow (the minuend must be the later "
+                        "snapshot of the two)");
+      return a - b;
+    };
+    return {sub(requested, o.requested, "requested"),
+            sub(hits, o.hits, "hits"),
+            sub(misses, o.misses, "misses"),
+            sub(local, o.local, "local"),
+            sub(bytes_moved, o.bytes_moved, "bytes_moved"),
+            sub(bytes_saved, o.bytes_saved, "bytes_saved")};
   }
 };
 

@@ -163,6 +163,33 @@ TEST(FeatureCache, AccountingCoversEveryRequestedRow) {
   EXPECT_EQ(s.requested, s.hits + s.misses + s.local);
 }
 
+TEST(FeatureCache, StatsDeltaChecksSnapshotOrderInsteadOfWrapping) {
+  // Regression: the per-interval delta `later - earlier` subtracted raw
+  // unsigned fields, so swapping the operands wrapped every counter into a
+  // ~2^64 garbage delta that polluted epoch reports downstream. The
+  // subtraction now checks per-field ordering.
+  FeatureCacheStats earlier{/*requested=*/10, /*hits=*/4, /*misses=*/5,
+                            /*local=*/1, /*bytes_moved=*/80, /*bytes_saved=*/64};
+  FeatureCacheStats later{/*requested=*/25, /*hits=*/12, /*misses=*/10,
+                          /*local=*/3, /*bytes_moved=*/160, /*bytes_saved=*/192};
+  const FeatureCacheStats d = later - earlier;
+  EXPECT_EQ(d.requested, 15u);
+  EXPECT_EQ(d.hits, 8u);
+  EXPECT_EQ(d.misses, 5u);
+  EXPECT_EQ(d.local, 2u);
+  EXPECT_EQ(d.bytes_moved, 80u);
+  EXPECT_EQ(d.bytes_saved, 128u);
+  EXPECT_THROW(earlier - later, DmsError);  // the swapped-operand bug
+  // A single out-of-order field trips it too, even when the others pass.
+  FeatureCacheStats skewed = later;
+  skewed.hits = earlier.hits - 1;
+  EXPECT_THROW(skewed - earlier, DmsError);
+  // Equal snapshots are a valid (all-zero) interval.
+  const FeatureCacheStats zero = earlier - earlier;
+  EXPECT_EQ(zero.requested, 0u);
+  EXPECT_EQ(zero.bytes_saved, 0u);
+}
+
 TEST(FeatureCache, OwningCopySurvivesItsSource) {
   // Dangling-borrow regression (the `const DenseF* features_` hazard): with
   // own_copy the store keeps its own matrix, so destroying the source is

@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "nn/model.hpp"
+#include "plan/optimize.hpp"
 #include "serve/engine.hpp"
 #include "test_util.hpp"
 
@@ -145,6 +146,46 @@ TEST(Coalescer, FutureArrivalsStayQueued) {
   EXPECT_EQ(c.pending(), 1u);
 }
 
+TEST(Coalescer, ServerBusyDrainAdmitsFifoPrefixUpToCap) {
+  // Regression for the server-busy drain: when the clock has run far past
+  // several deadlines (the server was busy with a previous bulk), pop(now)
+  // must admit exactly the first max_requests FIFO arrivals with
+  // arrival <= now — not every overdue request, and never out of order.
+  const auto fill = [](Coalescer& c) {
+    for (index_t i = 0; i < 5; ++i) {
+      c.push(make_request(i, {i}, 0.1 * static_cast<double>(i)));
+    }
+  };
+  Coalescer c({/*window=*/0.05, /*max_requests=*/3});
+  fill(c);
+  const CoalescedBatch first = c.pop(10.0);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first.requests[0].id, 0);
+  EXPECT_EQ(first.requests[1].id, 1);
+  EXPECT_EQ(first.requests[2].id, 2);
+  EXPECT_DOUBLE_EQ(first.formed_at, 10.0);
+  EXPECT_EQ(c.pending(), 2u);
+  const CoalescedBatch second = c.pop(10.0);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second.requests[0].id, 3);
+  EXPECT_EQ(second.requests[1].id, 4);
+  EXPECT_EQ(c.pending(), 0u);
+  // pop is a pure function of (queue, clock): replaying the same arrivals
+  // against the same clock reproduces the same batch composition.
+  Coalescer replay({/*window=*/0.05, /*max_requests=*/3});
+  fill(replay);
+  const CoalescedBatch again = replay.pop(10.0);
+  ASSERT_EQ(again.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(again.requests[i].id, first.requests[i].id);
+  }
+  // A request still in the future stays queued even under a stale clock.
+  replay.push(make_request(9, {1}, 20.0));
+  const CoalescedBatch drained = replay.pop(10.0);
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(replay.pending(), 1u);
+}
+
 TEST(Coalescer, RejectsDegenerateConfigs) {
   EXPECT_THROW(Coalescer({0.0, 0}), DmsError);
   EXPECT_THROW(Coalescer({-1.0, 1}), DmsError);
@@ -165,7 +206,25 @@ TEST(ServeStats, NearestRankPercentile) {
   EXPECT_DOUBLE_EQ(percentile(sample, 100.0), 10.0);
   EXPECT_DOUBLE_EQ(percentile(sample, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(percentile({3.5}, 99.0), 3.5);
-  EXPECT_THROW(percentile({}, 50.0), DmsError);
+  EXPECT_THROW(percentile({1.0}, -1.0), DmsError);
+  EXPECT_THROW(percentile({1.0}, 100.5), DmsError);
+}
+
+TEST(ServeStats, EmptySampleReportsZeroInsteadOfThrowing) {
+  // Regression: summary paths run before any request completes (or right
+  // after reset_stats) used to crash on "percentile: empty sample".
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  ServeStats s;
+  EXPECT_DOUBLE_EQ(s.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 0.0);
+  EXPECT_DOUBLE_EQ(s.queue_wait_percentile(95.0), 0.0);
+  BatchRecord b;
+  b.requests = 1;
+  b.sampling = 0.1;
+  s.record(b, {RequestRecord{0, 1, 0.0, b.service()}});
+  EXPECT_GT(s.p50(), 0.0);
+  s.reset();  // reset-then-report is the sequence that crashed
+  EXPECT_DOUBLE_EQ(s.p50(), 0.0);
 }
 
 TEST(ServeStats, AggregatesBatchesAndRequests) {
@@ -369,6 +428,26 @@ TEST(ServeEngine, RecordsQueueWaitFromArrivalToBatchFormation) {
   EXPECT_DOUBLE_EQ(batches[0].service(), recs[0].service);
   EXPECT_GT(engine.stats().p50(), 0.0);
   EXPECT_GE(engine.stats().p99(), engine.stats().p50());
+}
+
+TEST(ServeEngine, ReplicaEnginesShareOneOptimizedPlan) {
+  // Serving replicas (and engines sharing a sampler shape with training)
+  // reuse the process-wide optimized plan instead of re-running the
+  // optimizer per engine — and the shared plan changes no prediction.
+  PlanCache::global().clear();
+  const Graph g = serve_graph();
+  const ProcessGrid grid(4, 2);
+  const DenseF feats = random_features(g.num_vertices(), 8, 77);
+  FeatureStore store(grid, feats);
+  const SageModel model(serve_model_config());
+  const auto cfg = engine_config(SamplerKind::kLadies, DistMode::kReplicated);
+  ServeEngine first(g, store, model, cfg);
+  EXPECT_FALSE(first.plan_cache_hit());
+  ServeEngine replica(g, store, model, cfg);
+  EXPECT_TRUE(replica.plan_cache_hit());
+  const ServeRequest req = make_request(42, {5, 17, 30}, 0.0);
+  expect_bit_identical(first.serve_one(req), replica.serve_one(req),
+                       "replica engines");
 }
 
 TEST(ServeEngine, RejectsMalformedBatchesAndConfigs) {
