@@ -7,6 +7,7 @@ namespace dms {
 void Cluster::superstep(const std::string& phase, const std::function<void(int)>& body) {
   double max_t = 0.0;
   for (int r = 0; r < grid_.size(); ++r) {
+    if (!alive(r)) continue;  // crashed ranks do no work
     Timer t;
     body(r);
     max_t = std::max(max_t, t.seconds());
@@ -17,6 +18,7 @@ void Cluster::superstep(const std::string& phase, const std::function<void(int)>
 void Cluster::superstep_recorded(const std::function<void(int, PhaseRecorder&)>& body) {
   std::map<std::string, double> max_per_phase;
   for (int r = 0; r < grid_.size(); ++r) {
+    if (!alive(r)) continue;
     PhaseRecorder rec;
     body(r, rec);
     for (const auto& [phase, sec] : rec.times()) {
@@ -27,11 +29,19 @@ void Cluster::superstep_recorded(const std::function<void(int, PhaseRecorder&)>&
 }
 
 void Cluster::add_compute(const std::string& phase, double seconds) {
-  compute_time_[phase] += seconds / model_.link().compute_scale;
+  const double scaled = seconds / model_.link().compute_scale;
+  compute_time_[phase] += scaled * straggler_factor_;
+  if (straggler_factor_ > 1.0) {
+    fault_stats_.straggler_seconds += scaled * (straggler_factor_ - 1.0);
+  }
 }
 
 void Cluster::add_compute_irregular(const std::string& phase, double seconds) {
-  compute_time_[phase] += seconds / model_.link().irregular_compute_scale;
+  const double scaled = seconds / model_.link().irregular_compute_scale;
+  compute_time_[phase] += scaled * straggler_factor_;
+  if (straggler_factor_ > 1.0) {
+    fault_stats_.straggler_seconds += scaled * (straggler_factor_ - 1.0);
+  }
 }
 
 void Cluster::record_comm(const std::string& phase, double seconds, std::size_t bytes,
@@ -40,6 +50,25 @@ void Cluster::record_comm(const std::string& phase, double seconds, std::size_t 
   s.seconds += seconds;
   s.bytes += bytes;
   s.messages += messages;
+  if (faults_ == nullptr || !faults_->has_loss()) return;
+  // Transient loss: this call is one communication event. Each lost attempt
+  // pays a full retransmit plus the policy's backoff; the final allowed
+  // attempt always delivers, so the event count and payload stay
+  // deterministic. Retry time/volume lands in the phase's comm table (the
+  // clock and the accounting invariants see real costs) and is additionally
+  // broken out in fault_stats_.
+  const std::uint64_t event = comm_event_++;
+  for (int attempt = 0; attempt + 1 < recovery_.max_attempts; ++attempt) {
+    if (!faults_->lost(event, attempt)) break;
+    const double retry = seconds + recovery_.backoff(attempt);
+    s.seconds += retry;
+    s.bytes += bytes;
+    s.messages += messages;
+    fault_stats_.retry_seconds += retry;
+    fault_stats_.retry_bytes += bytes;
+    fault_stats_.retry_messages += messages;
+    ++fault_stats_.lost_messages;
+  }
 }
 
 void Cluster::add_overhead(const std::string& phase, double seconds) {
@@ -78,6 +107,89 @@ void Cluster::reset_clock() {
   compute_time_.clear();
   comm_stats_.clear();
   overlap_credit_ = 0.0;
+  // Fault state (alive set, superstep counter, fault_stats_) deliberately
+  // survives: crashes are permanent across epochs, and fault accounting is
+  // cumulative like FeatureCacheStats.
+}
+
+void Cluster::install_faults(const FaultPlan* plan, RecoveryPolicy policy) {
+  check(policy.max_attempts >= 1,
+        "install_faults: max_attempts must be >= 1");
+  check(policy.base_backoff >= 0.0 && policy.max_backoff >= 0.0,
+        "install_faults: backoff seconds must be non-negative");
+  check(policy.backoff_factor >= 1.0,
+        "install_faults: backoff_factor must be >= 1");
+  if (plan != nullptr) {
+    for (const CrashEvent& e : plan->config().crashes) {
+      check(e.rank < grid_.size(),
+            "install_faults: crash rank out of range for this grid");
+    }
+  }
+  faults_ = plan;
+  recovery_ = policy;
+  dead_.assign(static_cast<std::size_t>(grid_.size()), 0);
+  superstep_ = 0;
+  comm_event_ = 0;
+  straggler_factor_ = 1.0;
+  fault_stats_ = FaultStats{};
+}
+
+void Cluster::clear_faults() {
+  faults_ = nullptr;
+  dead_.clear();
+  straggler_factor_ = 1.0;
+}
+
+index_t Cluster::begin_superstep() {
+  const index_t idx = superstep_++;
+  if (faults_ == nullptr) return idx;
+  for (const int r : faults_->crashes_at(idx)) {
+    if (dead_[static_cast<std::size_t>(r)] == 0) {
+      dead_[static_cast<std::size_t>(r)] = 1;
+      ++fault_stats_.crashed_ranks;
+    }
+  }
+  // The round is gated by its slowest member, so one multiplier (the max
+  // over alive ranks' draws) covers every compute contribution until the
+  // next boundary.
+  double f = 1.0;
+  if (faults_->has_stragglers()) {
+    for (int r = 0; r < grid_.size(); ++r) {
+      if (alive(r)) f = std::max(f, faults_->slowdown(idx, r));
+    }
+  }
+  straggler_factor_ = f;
+  return idx;
+}
+
+int Cluster::num_alive() const {
+  if (dead_.empty()) return grid_.size();
+  int n = 0;
+  for (int r = 0; r < grid_.size(); ++r) n += alive(r) ? 1 : 0;
+  return n;
+}
+
+std::vector<int> Cluster::alive_ranks() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(grid_.size()));
+  for (int r = 0; r < grid_.size(); ++r) {
+    if (alive(r)) out.push_back(r);
+  }
+  return out;
+}
+
+void Cluster::add_fault_redistribution(double seconds, std::size_t bytes) {
+  check(seconds >= 0.0, "add_fault_redistribution: negative seconds");
+  fault_stats_.redistribution_seconds += seconds;
+  fault_stats_.redistribution_bytes += bytes;
+}
+
+bool Cluster::row_alive(int row) const {
+  if (dead_.empty()) return true;
+  for (int j = 0; j < grid_.replication(); ++j) {
+    if (alive(grid_.rank_of(row, j))) return true;
+  }
+  return false;
 }
 
 }  // namespace dms

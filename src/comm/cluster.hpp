@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "comm/costmodel.hpp"
+#include "comm/faults.hpp"
 #include "comm/grid.hpp"
 #include "common/timer.hpp"
 
@@ -105,12 +106,64 @@ class Cluster {
 
   void reset_clock();
 
+  // --- Fault injection (DESIGN.md §13) -----------------------------------
+  //
+  // With a FaultPlan installed, the cluster becomes the single chokepoint
+  // where failures enter the simulation: begin_superstep() advances the
+  // fault clock and fires scheduled crashes, add_compute applies the
+  // superstep's straggler multiplier, and record_comm replays transient
+  // loss with bounded-backoff retries. Every draw is keyed by deterministic
+  // counters (superstep index, comm-event index), never host timing, so a
+  // faulty run is exactly replayable. With no plan installed all paths are
+  // bit-identical to the fault-free cluster.
+
+  /// Installs a borrowed fault plan (must outlive the cluster or be cleared)
+  /// and resets the fault clock, alive set, and fault accounting.
+  void install_faults(const FaultPlan* plan, RecoveryPolicy policy = {});
+  void clear_faults();
+  bool has_faults() const { return faults_ != nullptr; }
+
+  /// Advances the fault clock by one superstep: fires crashes scheduled for
+  /// the new superstep (marking ranks permanently dead) and fixes the
+  /// superstep's straggler multiplier (max over alive ranks' draws — the
+  /// BSP round is gated by its slowest member). Callers place superstep
+  /// boundaries at their natural recovery points (the staged executor uses
+  /// bulk-round boundaries). Returns the new superstep index (from 0).
+  index_t begin_superstep();
+  index_t current_superstep() const { return superstep_ - 1; }
+
+  /// Rank liveness. Every rank is alive until a CrashEvent kills it.
+  bool alive(int rank) const {
+    return dead_.empty() || dead_[static_cast<std::size_t>(rank)] == 0;
+  }
+  int num_alive() const;
+  std::vector<int> alive_ranks() const;
+  /// A process row is alive while at least one of its c replicas is.
+  bool row_alive(int row) const;
+
+  /// Cumulative fault/recovery accounting since install_faults (monotonic —
+  /// reset_clock does not touch it; callers diff snapshots per epoch).
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  /// Attributes crash-recovery data movement (survivor fetches,
+  /// re-partitioning) to the fault accounting. The caller still records the
+  /// actual time/bytes under its phase via record_comm, so the phase tables
+  /// and their invariants are unchanged — this is the breakdown overlay.
+  void add_fault_redistribution(double seconds, std::size_t bytes);
+
  private:
   ProcessGrid grid_;
   CostModel model_;
   std::map<std::string, double> compute_time_;
   std::map<std::string, CommStats> comm_stats_;
   double overlap_credit_ = 0.0;
+  const FaultPlan* faults_ = nullptr;  ///< borrowed; nullptr = no faults
+  RecoveryPolicy recovery_;
+  std::vector<char> dead_;             ///< sized on install_faults
+  index_t superstep_ = 0;              ///< supersteps begun so far
+  std::uint64_t comm_event_ = 0;       ///< deterministic loss-draw counter
+  double straggler_factor_ = 1.0;      ///< current superstep's multiplier
+  FaultStats fault_stats_;
 };
 
 }  // namespace dms

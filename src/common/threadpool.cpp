@@ -1,7 +1,11 @@
 #include "common/threadpool.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
+
+#include "common/log.hpp"
 
 namespace dms {
 
@@ -87,16 +91,36 @@ void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn)
   if (local_error) std::rethrow_exception(local_error);
 }
 
+int ThreadPool::resolve_pool_size(const char* env, int hardware) {
+  const int fallback = std::max(1, hardware);
+  if (env == nullptr) return fallback;
+  // A silently-accepted typo ("4x", "O4") used to atoi to a nonsensical pool
+  // size or fall through without a trace; parse strictly and say what
+  // happened instead.
+  errno = 0;
+  char* end = nullptr;
+  const long n = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') {
+    DMS_LOG_WARN("DMS_THREADS='" + std::string(env) +
+                 "' is not an integer; using " + std::to_string(fallback) +
+                 " threads");
+    return fallback;
+  }
+  if (errno == ERANGE || n <= 0 || n > INT_MAX) {
+    DMS_LOG_WARN("DMS_THREADS='" + std::string(env) +
+                 "' is out of range (need a positive int); using " +
+                 std::to_string(fallback) + " threads");
+    return fallback;
+  }
+  return static_cast<int>(n);
+}
+
 ThreadPool& ThreadPool::global() {
   // DMS_THREADS pins the pool size (CI runs the pipeline suites at 1 and 4
   // to lock in thread-count determinism); default is the hardware size.
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("DMS_THREADS"); env != nullptr) {
-      const int n = std::atoi(env);
-      if (n > 0) return n;
-    }
-    return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
-  }());
+  static ThreadPool pool(resolve_pool_size(
+      std::getenv("DMS_THREADS"),
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()))));
   return pool;
 }
 

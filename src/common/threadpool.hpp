@@ -35,6 +35,13 @@ class ThreadPool {
   /// Shared process-wide pool sized to the hardware.
   static ThreadPool& global();
 
+  /// Resolves the pool size from a DMS_THREADS-style value: a fully-numeric
+  /// positive integer pins the size; anything else (null, empty, zero,
+  /// negative, trailing garbage, overflow) logs a warning and falls back to
+  /// `hardware` (itself clamped to >= 1). Exposed for the regression tests —
+  /// global() feeds it getenv("DMS_THREADS").
+  static int resolve_pool_size(const char* env, int hardware);
+
  private:
   struct Task {
     const std::function<void(index_t)>* fn = nullptr;

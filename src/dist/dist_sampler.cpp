@@ -48,7 +48,38 @@ std::vector<std::vector<MinibatchSample>> PartitionedSamplerBase::sample_bulk(
   check(cluster.grid().rows() == grid_.rows() &&
             cluster.grid().replication() == grid_.replication(),
         "sample_bulk: cluster grid does not match the sampler's grid");
-  const BlockPartition assign(static_cast<index_t>(batches.size()), grid_.rows());
+  // Batches are block-assigned to *alive* process rows (a row is alive while
+  // any of its c replicas is). With no crashes this reproduces the balanced
+  // BlockPartition exactly; after a crash the dead rows get zero-width
+  // blocks and the survivors split the batches — sample content is
+  // unchanged either way, because randomness derives from global batch ids,
+  // never from the row assignment (the determinism contract).
+  const auto n = static_cast<index_t>(batches.size());
+  const index_t rows = grid_.rows();
+  std::vector<char> alive_row(static_cast<std::size_t>(rows), 1);
+  index_t num_alive_rows = rows;
+  if (cluster.has_faults()) {
+    num_alive_rows = 0;
+    for (index_t i = 0; i < rows; ++i) {
+      alive_row[static_cast<std::size_t>(i)] =
+          cluster.row_alive(static_cast<int>(i)) ? 1 : 0;
+      num_alive_rows += alive_row[static_cast<std::size_t>(i)];
+    }
+    check(num_alive_rows > 0 || n == 0,
+          "sample_bulk: every process row has crashed — nothing can sample");
+  }
+  std::vector<index_t> offsets(static_cast<std::size_t>(rows) + 1, 0);
+  index_t placed = 0, alive_seen = 0;
+  for (index_t i = 0; i < rows; ++i) {
+    index_t width = 0;
+    if (alive_row[static_cast<std::size_t>(i)] != 0 && num_alive_rows > 0) {
+      width = n / num_alive_rows + (alive_seen < n % num_alive_rows ? 1 : 0);
+      ++alive_seen;
+    }
+    placed += width;
+    offsets[static_cast<std::size_t>(i) + 1] = placed;
+  }
+  const BlockPartition assign = BlockPartition::from_offsets(std::move(offsets));
   return exec_.run_partitioned(
       cluster, dist_adj_, assign, batches, batch_ids, epoch_seed, &ws_,
       opts_.local_spgemm, opts_.sparsity_aware,

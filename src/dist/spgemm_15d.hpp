@@ -85,6 +85,10 @@ struct Spgemm15dStats {
   std::size_t allreduce_bytes = 0;  ///< partial-product reduction volume
   std::size_t messages = 0;
   std::size_t rounds = 0;           ///< chunked broadcast rounds executed
+  /// Bytes moved only because a crashed rank's block/work was re-fetched
+  /// from a surviving replica (degrade-and-continue, DESIGN.md §13). Always
+  /// 0 on a healthy cluster.
+  std::size_t redistribution_bytes = 0;
 };
 
 /// Computes P = Q·A on the cluster. q_blocks[i] is process row i's block of

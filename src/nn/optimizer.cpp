@@ -1,8 +1,63 @@
 #include "nn/optimizer.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "common/types.hpp"
 
 namespace dms {
+
+namespace {
+
+// Optimizer-state tensors serialize as [rows i64][cols i64][raw float bits],
+// the same little-endian raw-bits idiom as graph/io.cpp; float bits round-trip
+// exactly, which the bit-identical-resume guarantee depends on.
+void write_i64(std::ostream& os, std::int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::int64_t read_i64(std::istream& is, const char* what) {
+  std::int64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  check(static_cast<bool>(is), std::string("optimizer state: truncated ") + what);
+  return v;
+}
+
+void write_tensor(std::ostream& os, const DenseF& t) {
+  write_i64(os, t.rows());
+  write_i64(os, t.cols());
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+DenseF read_tensor(std::istream& is) {
+  const std::int64_t rows = read_i64(is, "tensor rows");
+  const std::int64_t cols = read_i64(is, "tensor cols");
+  check(rows >= 0 && cols >= 0, "optimizer state: negative tensor shape");
+  DenseF t(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  check(static_cast<bool>(is), "optimizer state: truncated tensor data");
+  return t;
+}
+
+void write_tensors(std::ostream& os, const std::vector<DenseF>& ts) {
+  write_i64(os, static_cast<std::int64_t>(ts.size()));
+  for (const DenseF& t : ts) write_tensor(os, t);
+}
+
+std::vector<DenseF> read_tensors(std::istream& is) {
+  const std::int64_t n = read_i64(is, "tensor count");
+  check(n >= 0, "optimizer state: negative tensor count");
+  std::vector<DenseF> ts;
+  ts.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) ts.push_back(read_tensor(is));
+  return ts;
+}
+
+}  // namespace
 
 void Sgd::step(const std::vector<ParamGrad>& params) {
   if (velocity_.size() != params.size()) {
@@ -24,6 +79,10 @@ void Sgd::step(const std::vector<ParamGrad>& params) {
     }
   }
 }
+
+void Sgd::save_state(std::ostream& os) const { write_tensors(os, velocity_); }
+
+void Sgd::load_state(std::istream& is) { velocity_ = read_tensors(is); }
 
 void Adam::step(const std::vector<ParamGrad>& params) {
   if (m_.size() != params.size()) {
@@ -54,6 +113,21 @@ void Adam::step(const std::vector<ParamGrad>& params) {
       pd[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+void Adam::save_state(std::ostream& os) const {
+  write_i64(os, t_);
+  write_tensors(os, m_);
+  write_tensors(os, v_);
+}
+
+void Adam::load_state(std::istream& is) {
+  const std::int64_t t = read_i64(is, "adam step counter");
+  check(t >= 0, "optimizer state: negative adam step counter");
+  t_ = static_cast<int>(t);
+  m_ = read_tensors(is);
+  v_ = read_tensors(is);
+  check(m_.size() == v_.size(), "optimizer state: adam moment count mismatch");
 }
 
 }  // namespace dms

@@ -1,6 +1,7 @@
 // Optimizers operating on flat lists of (param, grad) tensor pairs.
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "sparse/dense.hpp"
@@ -16,6 +17,14 @@ class Optimizer {
  public:
   virtual ~Optimizer() = default;
   virtual void step(const std::vector<ParamGrad>& params) = 0;
+  /// Stable identifier of the concrete optimizer, recorded in checkpoints so
+  /// a restore into a differently-configured pipeline is rejected.
+  virtual const char* kind() const = 0;
+  /// Serializes the mutable state (moment tensors, step counter) so a
+  /// restored optimizer continues bit-identically. Hyperparameters are NOT
+  /// saved — they come from the pipeline config the restore validates.
+  virtual void save_state(std::ostream& os) const = 0;
+  virtual void load_state(std::istream& is) = 0;
 };
 
 /// Plain SGD with optional momentum.
@@ -23,6 +32,9 @@ class Sgd : public Optimizer {
  public:
   explicit Sgd(float lr, float momentum = 0.0f) : lr_(lr), momentum_(momentum) {}
   void step(const std::vector<ParamGrad>& params) override;
+  const char* kind() const override { return "sgd"; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
 
  private:
   float lr_;
@@ -38,6 +50,9 @@ class Adam : public Optimizer {
                 float eps = 1e-8f)
       : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
   void step(const std::vector<ParamGrad>& params) override;
+  const char* kind() const override { return "adam"; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
 
  private:
   float lr_, beta1_, beta2_, eps_;

@@ -34,9 +34,19 @@ ServeRequest RequestQueue::pop_front() {
 Coalescer::Coalescer(CoalescerConfig cfg) : cfg_(cfg) {
   check(cfg_.max_requests >= 1, "Coalescer: max_requests must be >= 1");
   check(cfg_.window >= 0.0, "Coalescer: window must be non-negative");
+  check(cfg_.max_pending >= 0, "Coalescer: max_pending must be non-negative");
 }
 
 void Coalescer::push(ServeRequest r) { queue_.push(std::move(r)); }
+
+bool Coalescer::try_push(ServeRequest r) {
+  if (cfg_.max_pending > 0 &&
+      queue_.size() >= static_cast<std::size_t>(cfg_.max_pending)) {
+    return false;
+  }
+  queue_.push(std::move(r));
+  return true;
+}
 
 double Coalescer::ready_at() const {
   check(!queue_.empty(), "Coalescer::ready_at: no pending requests");
@@ -63,7 +73,15 @@ CoalescedBatch Coalescer::pop(double now) {
   while (!queue_.empty() &&
          batch.requests.size() < static_cast<std::size_t>(cfg_.max_requests) &&
          queue_.front().arrival <= now) {
-    batch.requests.push_back(queue_.pop_front());
+    ServeRequest r = queue_.pop_front();
+    if (cfg_.shed_overdue && r.deadline > 0.0 && r.deadline < now) {
+      // Its client gave up before the batch formed; spending a bulk slot on
+      // it would only push the deadline of everything behind it.
+      batch.shed.push_back(
+          {r.id, r.arrival, now, ShedReason::kDeadlineExceeded});
+      continue;
+    }
+    batch.requests.push_back(std::move(r));
   }
   return batch;
 }

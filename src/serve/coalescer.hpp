@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "serve/stats.hpp"
 
 namespace dms {
 
@@ -38,6 +39,10 @@ struct ServeRequest {
   std::vector<index_t> seeds;
   /// Arrival timestamp on the serve clock, seconds.
   double arrival = 0.0;
+  /// Absolute latest useful completion instant on the serve clock; 0 = no
+  /// deadline. Under degraded health a request still queued past its
+  /// deadline is shed at batch formation instead of served.
+  double deadline = 0.0;
 };
 
 /// Admission policy knobs.
@@ -49,11 +54,25 @@ struct CoalescerConfig {
   /// Batch cap: a batch closes immediately once this many requests are
   /// queued; overflow beyond the cap splits into further batches. >= 1.
   index_t max_requests = 1;
+  /// Bounded-queue capacity for try_push: arrivals beyond this many pending
+  /// requests are rejected (ShedReason::kQueueFull). 0 = unbounded. push()
+  /// ignores the bound (the unguarded legacy path).
+  index_t max_pending = 0;
+  /// When set, pop(now) drops queued requests whose deadline already passed
+  /// (ShedReason::kDeadlineExceeded) instead of batching them — the
+  /// degraded-health load-shedding mode. Requests without a deadline are
+  /// never dropped.
+  bool shed_overdue = false;
 };
 
-/// One admission decision: the requests that will share a bulk execution.
+/// One admission decision: the requests that will share a bulk execution,
+/// plus any requests dropped while forming it.
 struct CoalescedBatch {
   std::vector<ServeRequest> requests;
+  /// Requests shed at formation (only with CoalescerConfig::shed_overdue):
+  /// their deadline passed while they queued. The caller forwards these to
+  /// ServeStats::record_shed.
+  std::vector<ShedRecord> shed;
   /// The instant the batch was closed (the pop(now) argument); per-request
   /// queue wait is measured from arrival to the batch's service start.
   double formed_at = 0.0;
@@ -86,8 +105,14 @@ class Coalescer {
 
   const CoalescerConfig& config() const { return cfg_; }
 
-  /// Enqueues an arrival (non-decreasing arrival order).
+  /// Enqueues an arrival (non-decreasing arrival order), ignoring any
+  /// max_pending bound — the legacy unguarded path.
   void push(ServeRequest r);
+
+  /// Bounded admission: enqueues unless max_pending > 0 and the queue is
+  /// already at capacity, in which case the request is dropped and false
+  /// returned (the caller records a ShedReason::kQueueFull shed).
+  bool try_push(ServeRequest r);
 
   bool empty() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
@@ -102,7 +127,10 @@ class Coalescer {
 
   /// Closes a batch at `now`: up to max_requests requests with
   /// arrival <= now, oldest first. Requires now >= ready_at(). Requests
-  /// arriving after `now` stay queued for the next batch.
+  /// arriving after `now` stay queued for the next batch. With
+  /// shed_overdue, queued requests whose deadline passed are moved to the
+  /// batch's `shed` list instead of its `requests` (they do not count
+  /// against the cap — shedding frees the slot for a servable request).
   CoalescedBatch pop(double now);
 
  private:

@@ -1,0 +1,63 @@
+#include "serve/health.hpp"
+
+namespace dms {
+
+const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kShedding:
+      return "shedding";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(HealthConfig cfg) : cfg_(cfg) {
+  check(cfg_.queue_capacity >= 1, "HealthMonitor: queue_capacity must be >= 1");
+  check(cfg_.degraded_enter > 0.0 && cfg_.degraded_enter <= 1.0 &&
+            cfg_.shed_enter > 0.0 && cfg_.shed_enter <= 1.0,
+        "HealthMonitor: enter thresholds must be in (0, 1]");
+  check(cfg_.degraded_exit >= 0.0 && cfg_.degraded_exit < cfg_.degraded_enter,
+        "HealthMonitor: degraded_exit must be below degraded_enter");
+  check(cfg_.shed_exit >= 0.0 && cfg_.shed_exit < cfg_.shed_enter,
+        "HealthMonitor: shed_exit must be below shed_enter");
+  check(cfg_.degraded_enter <= cfg_.shed_enter,
+        "HealthMonitor: degraded must enter at or below the shedding "
+        "threshold");
+}
+
+HealthState HealthMonitor::observe(std::size_t pending) {
+  pressure_ = static_cast<double>(pending) /
+              static_cast<double>(cfg_.queue_capacity);
+  const HealthState before = state_;
+  switch (state_) {
+    case HealthState::kHealthy:
+      if (pressure_ >= cfg_.shed_enter) {
+        state_ = HealthState::kShedding;
+      } else if (pressure_ >= cfg_.degraded_enter) {
+        state_ = HealthState::kDegraded;
+      }
+      break;
+    case HealthState::kDegraded:
+      if (pressure_ >= cfg_.shed_enter) {
+        state_ = HealthState::kShedding;
+      } else if (pressure_ <= cfg_.degraded_exit) {
+        state_ = HealthState::kHealthy;
+      }
+      break;
+    case HealthState::kShedding:
+      // Recovery steps down one level at a time: even a briefly empty queue
+      // passes through kDegraded first, so the shed→admit flip and the
+      // resume of deadline service never happen on the same observation.
+      if (pressure_ <= cfg_.shed_exit) {
+        state_ = HealthState::kDegraded;
+      }
+      break;
+  }
+  if (state_ != before) ++transitions_;
+  return state_;
+}
+
+}  // namespace dms

@@ -1,0 +1,74 @@
+// Serving health-state machine (DESIGN.md §13): graceful degradation under
+// overload.
+//
+// The monitor watches queue pressure — pending requests as a fraction of the
+// configured capacity — and walks a three-state machine:
+//
+//   kHealthy   every arrival admitted, every queued request served;
+//   kDegraded  arrivals still admitted, but requests whose deadline passed
+//              while queued are shed at batch formation
+//              (CoalescerConfig::shed_overdue semantics);
+//   kShedding  new arrivals are rejected outright (ShedReason::kQueueFull)
+//              until the backlog drains.
+//
+// Transitions use hysteresis (enter thresholds above exit thresholds) so a
+// queue oscillating around one level doesn't flap between policies: pressure
+// must fall well below where degradation began before the monitor recovers.
+// Like the Coalescer, the monitor is clock-free and deterministic — state is
+// a pure function of the observation sequence, so a replayed arrival trace
+// reproduces identical admission decisions.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace dms {
+
+enum class HealthState { kHealthy, kDegraded, kShedding };
+
+const char* to_string(HealthState state);
+
+struct HealthConfig {
+  /// Pending-request depth that counts as 100% pressure (typically the
+  /// coalescer's max_pending). >= 1.
+  std::size_t queue_capacity = 64;
+  /// Enter kDegraded at >= degraded_enter pressure; leave it (back to
+  /// kHealthy) only at <= degraded_exit. exit < enter.
+  double degraded_enter = 0.5;
+  double degraded_exit = 0.25;
+  /// Enter kShedding at >= shed_enter pressure; step back down to kDegraded
+  /// only at <= shed_exit. exit < enter, degraded_enter <= shed_enter.
+  double shed_enter = 0.9;
+  double shed_exit = 0.5;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthConfig cfg);
+
+  /// Feeds one queue-depth observation; returns the (possibly changed)
+  /// state. Call on every arrival and every batch formation.
+  HealthState observe(std::size_t pending);
+
+  HealthState state() const { return state_; }
+  /// The last observed pressure (pending / capacity).
+  double pressure() const { return pressure_; }
+  const HealthConfig& config() const { return cfg_; }
+
+  /// Policy the current state implies for the serving loop.
+  bool admit_arrivals() const { return state_ != HealthState::kShedding; }
+  bool shed_overdue() const { return state_ != HealthState::kHealthy; }
+
+  /// State-change count (observability: a flapping monitor means the
+  /// hysteresis band is too narrow for the workload).
+  std::size_t transitions() const { return transitions_; }
+
+ private:
+  HealthConfig cfg_;
+  HealthState state_ = HealthState::kHealthy;
+  double pressure_ = 0.0;
+  std::size_t transitions_ = 0;
+};
+
+}  // namespace dms

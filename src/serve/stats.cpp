@@ -34,9 +34,22 @@ void ServeStats::record(const BatchRecord& batch,
   }
 }
 
+void ServeStats::record_shed(const ShedRecord& shed) {
+  check(shed.shed_at >= shed.arrival,
+        "ServeStats::record_shed: shed before arrival");
+  sheds_.push_back(shed);
+}
+
+std::size_t ServeStats::num_shed(ShedReason reason) const {
+  std::size_t n = 0;
+  for (const ShedRecord& s : sheds_) n += s.reason == reason ? 1 : 0;
+  return n;
+}
+
 void ServeStats::reset() {
   requests_.clear();
   batches_.clear();
+  sheds_.clear();
   sampling_ = fetch_ = inference_ = queue_wait_ = 0.0;
 }
 

@@ -35,18 +35,40 @@ struct BatchRecord {
   double service() const { return sampling + fetch + inference; }
 };
 
+/// Why a request was dropped instead of served (DESIGN.md §13 graceful
+/// degradation): the two shedding decisions are made at opposite ends of the
+/// queue — kQueueFull rejects an arrival into a full bounded queue,
+/// kDeadlineExceeded drops a queued request whose deadline passed before its
+/// batch formed (serving it would waste a bulk slot on an answer the client
+/// already gave up on).
+enum class ShedReason { kQueueFull, kDeadlineExceeded };
+
+/// One shed request. shed_at - arrival is the time the request spent queued
+/// before the drop decision (0 for admission-time rejections).
+struct ShedRecord {
+  index_t request_id = 0;
+  double arrival = 0.0;
+  double shed_at = 0.0;
+  ShedReason reason = ShedReason::kQueueFull;
+};
+
 /// Aggregates a serving run. The engine records one BatchRecord per
 /// coalesced bulk and one RequestRecord per member request; accessors
 /// summarize latency percentiles and phase totals.
 class ServeStats {
  public:
   void record(const BatchRecord& batch, const std::vector<RequestRecord>& reqs);
+  /// Records a dropped request (admission rejection or deadline shed).
+  void record_shed(const ShedRecord& shed);
   void reset();
 
   std::size_t num_requests() const { return requests_.size(); }
   std::size_t num_batches() const { return batches_.size(); }
+  std::size_t num_shed() const { return sheds_.size(); }
+  std::size_t num_shed(ShedReason reason) const;
   const std::vector<RequestRecord>& requests() const { return requests_; }
   const std::vector<BatchRecord>& batches() const { return batches_; }
+  const std::vector<ShedRecord>& sheds() const { return sheds_; }
 
   /// Cumulative phase seconds across all batches (the EpochStats-style
   /// coarse breakdown: sampling / fetch / inference).
@@ -73,6 +95,7 @@ class ServeStats {
  private:
   std::vector<RequestRecord> requests_;
   std::vector<BatchRecord> batches_;
+  std::vector<ShedRecord> sheds_;
   double sampling_ = 0.0;
   double fetch_ = 0.0;
   double inference_ = 0.0;

@@ -1,0 +1,36 @@
+// Training checkpoint/restore (DESIGN.md §13).
+//
+// A checkpoint is taken at a bulk-round boundary (Pipeline::run_epoch_partial
+// stops at one): gradients are zero there, every sampled minibatch has been
+// trained, and the epoch's round schedule is a pure function of the config
+// and dataset. Sampling randomness is stateless — derived per (epoch, global
+// batch id, layer, row) from the config seed — so no RNG state needs saving.
+// Model weights + optimizer state + the TrainCursor therefore fully determine
+// the remainder of the run, and a restored pipeline produces bit-identical
+// losses to the uninterrupted one (tests/test_checkpoint.cpp kills an epoch
+// mid-way and verifies exactly that).
+//
+// Binary format ("DMSK", versioned like graph/io.cpp): a config fingerprint
+// (sampler, mode, fanouts, batch/bulk/overlap shape, seed, optimizer,
+// learning rate, model dimensions) guards the restore — loading into a
+// pipeline whose config would produce a different schedule or different
+// arithmetic is rejected, not silently accepted.
+#pragma once
+
+#include <string>
+
+#include "train/pipeline.hpp"
+
+namespace dms {
+
+/// Serializes the pipeline's model weights, optimizer state and `cursor` to
+/// `path`. Call at a round boundary (e.g. with run_epoch_partial's cursor).
+void save_checkpoint(Pipeline& pipe, const TrainCursor& cursor,
+                     const std::string& path);
+
+/// Restores model weights and optimizer state into `pipe` and returns the
+/// saved cursor. Throws DmsError if the file is missing/corrupt or was
+/// written under an incompatible pipeline config.
+TrainCursor load_checkpoint(Pipeline& pipe, const std::string& path);
+
+}  // namespace dms

@@ -114,6 +114,9 @@ std::vector<DenseF> FeatureStore::fetch_all(
       DenseF gathered(static_cast<index_t>(req.size()), dim_);
       for (std::size_t q = 0; q < req.size(); ++q) {
         const index_t v = req[q];
+        check(v >= 0 && v < part_.total(),
+              "FeatureStore::fetch_all: vertex " + std::to_string(v) +
+                  " out of range [0, " + std::to_string(part_.total()) + ")");
         std::copy(h.row(v), h.row(v) + dim_, gathered.row(static_cast<index_t>(q)));
         const index_t owner_row = part_.owner(v);
         if (owner_row == my_row) {

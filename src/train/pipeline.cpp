@@ -73,6 +73,19 @@ EpochStats Pipeline::run_epoch(int epoch) {
   return StagedPipeline(*this).run(epoch);
 }
 
+TrainCursor Pipeline::run_epoch_partial(int epoch, index_t stop_round) {
+  check(stop_round >= 0, "run_epoch_partial: stop_round must be >= 0");
+  TrainCursor cursor;
+  cursor.epoch = epoch;
+  StagedPipeline(*this).run_range(epoch, stop_round, &cursor);
+  return cursor;
+}
+
+EpochStats Pipeline::run_epoch_resumed(const TrainCursor& cursor) {
+  TrainCursor resumed = cursor;
+  return StagedPipeline(*this).run_range(cursor.epoch, -1, &resumed);
+}
+
 double Pipeline::evaluate(const std::vector<index_t>& idx,
                           const std::vector<index_t>& eval_fanouts,
                           index_t eval_batch_size) {

@@ -90,6 +90,34 @@ struct EpochStats {
   /// the coarse `sampling` phase. Observability only — not part of the
   /// simulated-clock composition the consistency invariants cover.
   std::map<std::string, double> sampler_ops;
+  /// Fault/recovery attribution for the epoch (DESIGN.md §13), diffed from
+  /// the cluster's cumulative FaultStats. The seconds below are already
+  /// *inside* the phase tables above (the clock sees real retry/slowdown
+  /// costs); these fields break out how much of each phase was fault-induced.
+  /// All zero on a healthy cluster.
+  double fault_straggler = 0.0;       ///< extra compute from injected slowdowns
+  double fault_retry = 0.0;           ///< retransmit + backoff time of lost messages
+  double fault_redistribution = 0.0;  ///< survivor re-fetch time after crashes
+  std::size_t retry_bytes = 0;        ///< payload retransmitted after loss
+  std::size_t retry_messages = 0;
+  std::size_t crashed_ranks = 0;      ///< ranks that died during this epoch
+};
+
+/// Epoch/round cursor for checkpoint/restore (DESIGN.md §13). Checkpoints
+/// are taken at bulk-round boundaries: gradients are zero there, every
+/// sampled batch has been trained, and the round schedule is a pure function
+/// of the config and dataset — so model weights + optimizer state + this
+/// cursor fully determine the remainder of the epoch. Sampling randomness is
+/// stateless (derived per (epoch, batch id, layer, row) from the config
+/// seed), which is why no RNG state appears here.
+struct TrainCursor {
+  int epoch = 0;
+  index_t next_round = 0;    ///< first untrained bulk round of `epoch`
+  index_t total_rounds = 0;  ///< bulk rounds in the epoch's schedule
+  double loss_sum = 0.0;     ///< per-sample loss accumulated so far
+  index_t correct = 0;       ///< correct predictions so far
+  index_t seen = 0;          ///< training samples consumed so far
+  bool finished() const { return next_round >= total_rounds; }
 };
 
 class Pipeline {
@@ -102,6 +130,19 @@ class Pipeline {
   /// breakdown plus training loss/accuracy. Resets the cluster clock first.
   EpochStats run_epoch(int epoch);
 
+  /// Trains `epoch` up to (not including) bulk round `stop_round`, then
+  /// stops at the round boundary and returns the cursor to checkpoint
+  /// (train/checkpoint.hpp serializes it with the model and optimizer).
+  /// stop_round past the schedule trains the whole epoch.
+  TrainCursor run_epoch_partial(int epoch, index_t stop_round);
+
+  /// Resumes an epoch at cursor.next_round (after load_checkpoint restored
+  /// the model/optimizer) and trains it to completion. The returned stats'
+  /// loss/accuracy cover the *whole* epoch — bit-identical to an
+  /// uninterrupted run_epoch — while the time breakdown covers only the
+  /// resumed segment.
+  EpochStats run_epoch_resumed(const TrainCursor& cursor);
+
   /// Single-node accuracy evaluation with the given evaluation fanouts
   /// (paper §8.1.3 uses test fanout (20,20,20)).
   double evaluate(const std::vector<index_t>& idx,
@@ -110,6 +151,9 @@ class Pipeline {
 
   SageModel& model() { return model_; }
   const FeatureStore& features() const { return features_; }
+  const PipelineConfig& config() const { return cfg_; }
+  /// The training optimizer (checkpoint serialization of its state).
+  Optimizer& optimizer() { return *optimizer_; }
 
   /// Approximate per-rank device memory (adjacency + feature block + cache
   /// + model), for reproducing the paper's memory-capped (c, k) choices.

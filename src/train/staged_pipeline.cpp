@@ -1,6 +1,7 @@
 #include "train/staged_pipeline.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/rng.hpp"
 #include "common/timer.hpp"
@@ -23,9 +24,140 @@ double StagedPipeline::clock() const {
   return p_.cluster_.total_compute() + p_.cluster_.total_comm();
 }
 
+void StagedPipeline::assign_batches(const std::vector<index_t>& remaining,
+                                    index_t boundary) {
+  Cluster& cluster = p_.cluster_;
+  const ProcessGrid& grid = cluster.grid();
+  const int p = cluster.size();
+  const auto n = static_cast<index_t>(remaining.size());
+  index_t max_steps = boundary;
+
+  if (p_.cfg_.mode == DistMode::kReplicated) {
+    // §5.1/§6.1: minibatches block-assigned to the alive ranks; each rank
+    // trains its block in order. With every rank alive this is exactly the
+    // classic BlockPartition(k, p) assignment.
+    const std::vector<int> alive = cluster.alive_ranks();
+    check(!alive.empty() || n == 0,
+          "StagedPipeline: every rank has crashed — cannot continue the epoch");
+    const BlockPartition bp(n, static_cast<index_t>(std::max<std::size_t>(
+                                   1, alive.size())));
+    for (std::size_t a = 0; a < alive.size(); ++a) {
+      const index_t lo = bp.begin(static_cast<index_t>(a));
+      const index_t hi = bp.end(static_cast<index_t>(a));
+      for (index_t m = lo; m < hi; ++m) {
+        placement_[static_cast<std::size_t>(remaining[static_cast<std::size_t>(m)])] =
+            Placement{alive[a], boundary + (m - lo)};
+      }
+      max_steps = std::max(max_steps, boundary + (hi - lo));
+    }
+  } else {
+    // §5.2: minibatches block-assigned to the alive process rows; each
+    // row's surviving replicas round-robin its block. All rows/columns
+    // alive reproduces rank (i, m%c), step m/c exactly.
+    const index_t rows = grid.rows();
+    const int c = grid.replication();
+    std::vector<std::vector<int>> row_ranks;  // alive ranks per alive row
+    std::vector<index_t> alive_rows;
+    for (index_t i = 0; i < rows; ++i) {
+      std::vector<int> ranks;
+      for (int j = 0; j < c; ++j) {
+        const int r = grid.rank_of(static_cast<int>(i), j);
+        if (cluster.alive(r)) ranks.push_back(r);
+      }
+      if (!ranks.empty()) {
+        alive_rows.push_back(i);
+        row_ranks.push_back(std::move(ranks));
+      }
+    }
+    check(!alive_rows.empty() || n == 0,
+          "StagedPipeline: every process row has crashed — cannot continue "
+          "the epoch");
+    const BlockPartition bp(
+        n, static_cast<index_t>(std::max<std::size_t>(1, alive_rows.size())));
+    for (std::size_t a = 0; a < alive_rows.size(); ++a) {
+      const std::vector<int>& ranks = row_ranks[a];
+      const auto nc = static_cast<index_t>(ranks.size());
+      const index_t lo = bp.begin(static_cast<index_t>(a));
+      const index_t hi = bp.end(static_cast<index_t>(a));
+      for (index_t m = lo; m < hi; ++m) {
+        const index_t local = m - lo;
+        placement_[static_cast<std::size_t>(remaining[static_cast<std::size_t>(m)])] =
+            Placement{ranks[static_cast<std::size_t>(local % nc)],
+                      boundary + local / nc};
+      }
+      if (hi > lo) {
+        max_steps = std::max(max_steps, boundary + ceil_div(hi - lo, nc));
+      }
+    }
+  }
+
+  steps_ = max_steps;
+  step_batches_.assign(static_cast<std::size_t>(p),
+                       std::vector<index_t>(static_cast<std::size_t>(steps_), -1));
+  for (std::size_t b = 0; b < placement_.size(); ++b) {
+    const Placement& pl = placement_[b];
+    if (pl.rank >= 0 && pl.step < steps_) {
+      step_batches_[static_cast<std::size_t>(pl.rank)]
+                   [static_cast<std::size_t>(pl.step)] =
+          static_cast<index_t>(b);
+    }
+  }
+  queues_.resize(static_cast<std::size_t>(p));
+  for (auto& q : queues_) q.resize(static_cast<std::size_t>(steps_));
+}
+
+bool StagedPipeline::recover_at_boundary(std::size_t g) {
+  Cluster& cluster = p_.cluster_;
+  cluster.begin_superstep();
+  if (!cluster.has_faults()) return false;
+  const int p = cluster.size();
+  bool changed = false;
+  for (int r = 0; r < p; ++r) {
+    if (alive_[static_cast<std::size_t>(r)] != (cluster.alive(r) ? 1 : 0)) {
+      changed = true;
+      break;
+    }
+  }
+  if (!changed) return false;
+  for (int r = 0; r < p; ++r) {
+    alive_[static_cast<std::size_t>(r)] = cluster.alive(r) ? 1 : 0;
+  }
+
+  // Degrade-and-continue: everything at or past this boundary is not yet
+  // sampled (rounds train to completion before the next boundary), so the
+  // whole remainder re-partitions onto the survivors and the remaining
+  // rounds are re-planned — the sub-epoch re-partitioning of
+  // plan_bulk_rounds. Sample content is placement-independent, so only the
+  // schedule changes.
+  const index_t boundary =
+      g < rounds_.size() ? rounds_[g].step_begin : steps_;
+  std::vector<index_t> remaining;
+  for (std::size_t b = 0; b < placement_.size(); ++b) {
+    if (placement_[b].step >= boundary) {
+      remaining.push_back(static_cast<index_t>(b));
+    }
+  }
+  assign_batches(remaining, boundary);
+  rounds_.resize(g);
+  for (const BulkRound& r : plan_bulk_rounds(steps_ - boundary, bulk_steps_)) {
+    rounds_.push_back({boundary + r.step_begin, boundary + r.step_end});
+  }
+  return true;
+}
+
 EpochStats StagedPipeline::run(int epoch) {
+  TrainCursor cursor;
+  cursor.epoch = epoch;
+  return run_range(epoch, -1, &cursor);
+}
+
+EpochStats StagedPipeline::run_range(int epoch, index_t end_round,
+                                     TrainCursor* cursor) {
   Cluster& cluster = p_.cluster_;
   const PipelineConfig& cfg = p_.cfg_;
+  check(cursor != nullptr, "StagedPipeline::run_range: cursor required");
+  check(cursor->epoch == epoch,
+        "StagedPipeline::run_range: cursor belongs to a different epoch");
   cluster.reset_clock();
   const std::uint64_t epoch_seed =
       derive_seed(cfg.seed, 0xe90c, static_cast<std::uint64_t>(epoch));
@@ -34,42 +166,41 @@ EpochStats StagedPipeline::run(int epoch) {
 
   const int p = cluster.size();
   const auto k_total = static_cast<index_t>(batches.size());
-  if (cfg.mode == DistMode::kReplicated) {
-    // §5.1/§6.1: minibatches block-assigned to ranks; rank r trains its
-    // block in order, so its step count is its block size.
-    rank_assign_ = BlockPartition(k_total, p);
-    steps_ = k_total == 0 ? 0 : rank_assign_.size(0);
-  } else {
-    // §5.2: minibatches block-assigned to process rows; each row's c
-    // replicas round-robin its block, so step t trains local index t*c+j.
-    row_assign_ = BlockPartition(k_total, cluster.grid().rows());
-    steps_ = k_total == 0 ? 0
-                          : ceil_div(row_assign_.size(0),
-                                     static_cast<index_t>(cluster.grid().replication()));
+  placement_.assign(static_cast<std::size_t>(k_total), Placement{});
+  alive_.resize(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    alive_[static_cast<std::size_t>(r)] = cluster.alive(r) ? 1 : 0;
   }
-  queues_.assign(static_cast<std::size_t>(p),
-                 std::vector<MinibatchSample>(static_cast<std::size_t>(steps_)));
+  std::vector<index_t> all_ids(static_cast<std::size_t>(k_total));
+  std::iota(all_ids.begin(), all_ids.end(), index_t{0});
+  assign_batches(all_ids, 0);
 
   // Bulk rounds: cfg.bulk_k minibatches across all ranks per round. With
   // k=all, the overlapped executor still slices the epoch into
   // prefetch_rounds rounds — a monolithic bulk would leave nothing to
   // double-buffer (the sync path keeps the single bulk of §6.1).
   check(cfg.prefetch_rounds >= 1, "Pipeline: prefetch_rounds must be >= 1");
-  index_t bulk_steps = 0;
+  bulk_steps_ = 0;
+  const int active = std::max(1, cluster.num_alive());
   if (cfg.bulk_k > 0) {
-    bulk_steps = std::max<index_t>(1, ceil_div(cfg.bulk_k, p));
+    bulk_steps_ = std::max<index_t>(1, ceil_div(cfg.bulk_k, active));
   } else if (cfg.overlap && cfg.prefetch_rounds > 1 && steps_ > 0) {
-    bulk_steps = std::max<index_t>(1, ceil_div(steps_, cfg.prefetch_rounds));
+    bulk_steps_ = std::max<index_t>(1, ceil_div(steps_, cfg.prefetch_rounds));
   }
-  const std::vector<BulkRound> rounds = plan_bulk_rounds(steps_, bulk_steps);
+  rounds_ = plan_bulk_rounds(steps_, bulk_steps_);
+  const auto begin_round = static_cast<std::size_t>(cursor->next_round);
+  check(begin_round <= rounds_.size(),
+        "StagedPipeline::run_range: cursor round past the epoch schedule");
 
   const FeatureCacheStats cache_before = p_.features_.cache_stats();
+  const FaultStats fault_before = cluster.fault_stats();
   // Plan-op breakdown: the executor's table is cumulative, so diff the
   // epoch's delta below.
   const std::map<std::string, double> ops_before =
       p_.sampler_->op_time_breakdown();
-  loss_sum_ = 0.0;
-  correct_ = seen_ = 0;
+  loss_sum_ = cursor->loss_sum;
+  correct_ = cursor->correct;
+  seen_ = cursor->seen;
   double stall = 0.0;
   double prev_round_unhidden = 0.0;
   // Hoisted per-step fetch buffer: move-assigned by fetch_step each step, so
@@ -77,19 +208,26 @@ EpochStats StagedPipeline::run(int epoch) {
   // arenas cover the sampling-side scratch the same way).
   std::vector<DenseF> gathered;
 
-  for (std::size_t g = 0; g < rounds.size(); ++g) {
-    const double s_cost = sample_round(rounds[g], epoch_seed);
+  std::size_t g = begin_round;
+  for (; g < rounds_.size(); ++g) {
+    if (end_round >= 0 && static_cast<index_t>(g) >= end_round) break;
+    // Every bulk-round boundary is a fault superstep: crashes land here,
+    // and the remainder of the epoch re-partitions onto the survivors.
+    recover_at_boundary(g);
+    if (g >= rounds_.size()) break;  // re-plan can only shrink past the end
+
+    const double s_cost = sample_round(rounds_[g], epoch_seed);
     if (cfg.overlap) {
       // Round g is sampled while round g-1 trains; round 0 is pipeline fill.
       const double hid =
-          g == 0 ? 0.0 : std::min(s_cost, prev_round_unhidden);
+          g == begin_round ? 0.0 : std::min(s_cost, prev_round_unhidden);
       cluster.credit_overlap(hid);
       stall += s_cost - hid;
     }
 
     double round_unhidden = 0.0;
     double prev_prop = -1.0;  // <0: no propagation yet in this round
-    for (index_t t = rounds[g].step_begin; t < rounds[g].step_end; ++t) {
+    for (index_t t = rounds_[g].step_begin; t < rounds_[g].step_end; ++t) {
       const double f_cost = fetch_step(t, gathered);
       const double p_cost = train_step(t, gathered);
       if (cfg.overlap) {
@@ -104,6 +242,12 @@ EpochStats StagedPipeline::run(int epoch) {
     }
     prev_round_unhidden = round_unhidden;
   }
+
+  cursor->next_round = static_cast<index_t>(g);
+  cursor->total_rounds = static_cast<index_t>(rounds_.size());
+  cursor->loss_sum = loss_sum_;
+  cursor->correct = correct_;
+  cursor->seen = seen_;
 
   EpochStats stats;
   stats.sampling = cluster.phase_time(kPhaseSampling) +
@@ -132,6 +276,13 @@ EpochStats StagedPipeline::run(int epoch) {
     stats.sampler_ops[op] =
         seconds - (it == ops_before.end() ? 0.0 : it->second);
   }
+  const FaultStats fd = cluster.fault_stats() - fault_before;
+  stats.fault_straggler = fd.straggler_seconds;
+  stats.fault_retry = fd.retry_seconds;
+  stats.fault_redistribution = fd.redistribution_seconds;
+  stats.retry_bytes = fd.retry_bytes;
+  stats.retry_messages = fd.retry_messages;
+  stats.crashed_ranks = fd.crashed_ranks;
   batches_ = nullptr;
   return stats;
 }
@@ -151,23 +302,25 @@ double StagedPipeline::replicated_round(const BulkRound& round,
   const double launch = cluster.cost_model().link().launch_overhead;
   const auto num_layers = static_cast<double>(p_.cfg_.fanouts.size());
 
-  // Each rank samples this round's slice of its block with zero
+  // Each rank samples this round's slice of its assigned batches with zero
   // communication; the round costs the max over ranks.
   double max_t = 0.0;
   for (int r = 0; r < p; ++r) {
-    const index_t b0 = rank_assign_.begin(r) + round.step_begin;
-    const index_t b1 =
-        std::min(rank_assign_.end(r), rank_assign_.begin(r) + round.step_end);
-    if (b0 >= b1) continue;
+    std::vector<std::vector<index_t>> chunk;
+    std::vector<index_t> ids;
+    for (index_t t = round.step_begin; t < round.step_end; ++t) {
+      const index_t b =
+          step_batches_[static_cast<std::size_t>(r)][static_cast<std::size_t>(t)];
+      if (b < 0) continue;
+      chunk.push_back((*batches_)[static_cast<std::size_t>(b)]);
+      ids.push_back(b);
+    }
+    if (ids.empty()) continue;
     Timer t;
-    const std::vector<std::vector<index_t>> chunk(batches_->begin() + b0,
-                                                  batches_->begin() + b1);
-    std::vector<index_t> ids(static_cast<std::size_t>(b1 - b0));
-    for (index_t b = b0; b < b1; ++b) ids[static_cast<std::size_t>(b - b0)] = b;
     auto samples = p_.sampler_->sample_bulk(chunk, ids, epoch_seed);
     for (std::size_t i = 0; i < samples.size(); ++i) {
-      queues_[static_cast<std::size_t>(r)]
-             [static_cast<std::size_t>(round.step_begin) + i] =
+      const Placement& pl = placement_[static_cast<std::size_t>(ids[i])];
+      queues_[static_cast<std::size_t>(pl.rank)][static_cast<std::size_t>(pl.step)] =
           std::move(samples[i]);
     }
     max_t = std::max(max_t, t.seconds());
@@ -184,24 +337,28 @@ double StagedPipeline::partitioned_round(const BulkRound& round,
   Cluster& cluster = p_.cluster_;
   const double before = clock();
   const ProcessGrid& grid = cluster.grid();
-  const auto c = static_cast<index_t>(grid.replication());
+  const index_t rows = grid.rows();
+  const int c = grid.replication();
   const double launch = cluster.cost_model().link().launch_overhead;
   const auto num_layers = static_cast<double>(p_.cfg_.fanouts.size());
 
-  // The round needs, for every process row, the batches whose queue step
-  // falls in [step_begin, step_end): local indices [step_begin*c,
-  // step_end*c) of the row's block. Sample content is independent of which
-  // row materializes a batch (the determinism contract derives randomness
-  // from global batch ids), so the sub-epoch can be re-partitioned freely.
+  // The round needs, for every process row, the batches placed at steps
+  // [step_begin, step_end) on the row's ranks. Sample content is
+  // independent of which row materializes a batch (the determinism contract
+  // derives randomness from global batch ids), so the sub-epoch can be
+  // re-partitioned freely.
   std::vector<std::vector<index_t>> sub_batches;
   std::vector<index_t> sub_ids;
-  for (index_t i = 0; i < row_assign_.parts(); ++i) {
-    const index_t lo = row_assign_.begin(i) + round.step_begin * c;
-    const index_t hi =
-        std::min(row_assign_.end(i), row_assign_.begin(i) + round.step_end * c);
-    for (index_t b = lo; b < hi; ++b) {
-      sub_batches.push_back((*batches_)[static_cast<std::size_t>(b)]);
-      sub_ids.push_back(b);
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t t = round.step_begin; t < round.step_end; ++t) {
+      for (int j = 0; j < c; ++j) {
+        const int r = grid.rank_of(static_cast<int>(i), j);
+        const index_t b = step_batches_[static_cast<std::size_t>(r)]
+                                       [static_cast<std::size_t>(t)];
+        if (b < 0) continue;
+        sub_batches.push_back((*batches_)[static_cast<std::size_t>(b)]);
+        sub_ids.push_back(b);
+      }
     }
   }
   if (sub_batches.empty()) return 0.0;
@@ -211,15 +368,12 @@ double StagedPipeline::partitioned_round(const BulkRound& round,
   cluster.add_overhead(kPhaseSampling, launch * kKernelsPerLayer * num_layers);
 
   // Concatenating the per-row results restores sub-batch order; place each
-  // sample at its canonical queue position (rank (i, m%c), step m/c).
+  // sample at its queue position from the placement table.
   std::size_t q = 0;
   for (auto& row_samples : per_row) {
     for (auto& ms : row_samples) {
-      const index_t b = sub_ids[q++];
-      const index_t i = row_assign_.owner(b);
-      const index_t m = b - row_assign_.begin(i);
-      const int rank = grid.rank_of(static_cast<int>(i), static_cast<int>(m % c));
-      queues_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(m / c)] =
+      const Placement& pl = placement_[static_cast<std::size_t>(sub_ids[q++])];
+      queues_[static_cast<std::size_t>(pl.rank)][static_cast<std::size_t>(pl.step)] =
           std::move(ms);
     }
   }
@@ -270,18 +424,20 @@ double StagedPipeline::train_step(index_t t, const std::vector<DenseF>& gathered
   }
   if (active > 0) {
     // Shared-model gradient accumulation across ranks == all-reduce sum;
-    // average and step once (identical to synchronous DDP).
+    // average and step once (identical to synchronous DDP). Only surviving
+    // ranks participate in the all-reduce.
     Timer timer;
     p_.model_.scale_grads(1.0f / static_cast<float>(active));
     p_.optimizer_->step(p_.model_.params());
     p_.model_.zero_grads();
     cluster.add_compute("propagation", max_prop + timer.seconds());
-    if (p > 1) {
+    const std::vector<int> group = cluster.alive_ranks();
+    if (group.size() > 1) {
       cluster.record_comm(
           "propagation",
-          cluster.cost_model().allreduce(cluster.grid().all_ranks(), param_bytes),
-          param_bytes * static_cast<std::size_t>(p),
-          static_cast<std::size_t>(2 * (p - 1)));
+          cluster.cost_model().allreduce(group, param_bytes),
+          param_bytes * group.size(),
+          2 * (group.size() - 1));
     }
   }
   return clock() - before;

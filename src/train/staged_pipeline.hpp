@@ -1,4 +1,5 @@
-// The staged, overlapped training executor (DESIGN.md §6).
+// The staged, overlapped training executor (DESIGN.md §6, fault recovery
+// §13).
 //
 // One epoch is executed as a sequence of discrete stage units over the
 // pipeline's components:
@@ -16,6 +17,18 @@
 // Cluster::credit_overlap. Because only the accounting changes, an
 // overlapped epoch performs bit-identical arithmetic to a synchronous one:
 // same samples, same gathered features, same optimizer updates, same loss.
+//
+// Batch placement is an explicit table (batch id → (rank, step)) rather
+// than implicit block arithmetic. On a healthy cluster the table reproduces
+// the classic block assignment exactly (replicated: contiguous blocks per
+// rank; partitioned: contiguous blocks per process row, replicas
+// round-robining the block). The table is what makes crash recovery a local
+// operation: each bulk-round boundary is a Cluster superstep, and when a
+// rank dies there the not-yet-sampled remainder of the epoch is
+// re-partitioned onto the survivors and the remaining rounds re-planned
+// through plan_bulk_rounds — the degrade-and-continue path. Sample content
+// never depends on placement (randomness derives from global batch ids), so
+// re-partitioning shifts work, not results.
 //
 // Accounting invariant (tested): for an overlapped epoch,
 //   overlap_saved + stall == sampling + fetch
@@ -36,7 +49,29 @@ class StagedPipeline {
   /// Executes one epoch through the staged schedule; returns the stats.
   EpochStats run(int epoch);
 
+  /// Executes bulk rounds [cursor->next_round, end_round) of `epoch`
+  /// (end_round < 0 = to the end). `cursor` carries the loss/accuracy
+  /// accumulators across segments and is updated to the first unexecuted
+  /// round on return — the checkpoint/restore entry point.
+  EpochStats run_range(int epoch, index_t end_round, TrainCursor* cursor);
+
  private:
+  /// Where a batch trains: queues_[rank][step].
+  struct Placement {
+    int rank = -1;
+    index_t step = -1;
+  };
+
+  /// (Re)builds the placement table: batches with ids in `remaining` are
+  /// block-assigned to the currently-alive ranks/rows with steps starting
+  /// at `boundary`. Initial call: boundary 0, all ids.
+  void assign_batches(const std::vector<index_t>& remaining, index_t boundary);
+
+  /// At a bulk-round boundary, advances the fault superstep and — if ranks
+  /// died — re-partitions every batch of rounds >= g onto the survivors and
+  /// re-plans the remaining rounds. Returns true if the schedule changed.
+  bool recover_at_boundary(std::size_t g);
+
   /// Samples the minibatches covering `round`'s training steps into the
   /// per-rank queues; returns the simulated seconds the round cost.
   double sample_round(const BulkRound& round, std::uint64_t epoch_seed);
@@ -55,9 +90,14 @@ class StagedPipeline {
 
   Pipeline& p_;
   const std::vector<std::vector<index_t>>* batches_ = nullptr;
-  BlockPartition rank_assign_;  ///< replicated: global batch id → rank
-  BlockPartition row_assign_;   ///< partitioned: global batch id → process row
-  index_t steps_ = 0;           ///< per-rank training steps in the epoch
+  std::vector<Placement> placement_;  ///< global batch id → (rank, step)
+  /// step_batches_[r][t]: the global batch id rank r trains at step t, or
+  /// -1. The inverse of placement_, rebuilt on every (re)assignment.
+  std::vector<std::vector<index_t>> step_batches_;
+  std::vector<BulkRound> rounds_;  ///< epoch schedule; re-planned on crash
+  index_t steps_ = 0;              ///< per-rank training steps in the epoch
+  index_t bulk_steps_ = 0;         ///< round stride for (re)planning
+  std::vector<char> alive_;        ///< alive flags at the last boundary
   /// queues_[r][t]: the sample rank r trains at step t (empty batch_vertices
   /// = no work for r at t). Rounds fill step ranges; train_step drains them.
   std::vector<std::vector<MinibatchSample>> queues_;

@@ -83,5 +83,20 @@ TEST(FeatureStore, WrongRequestCountThrows) {
   EXPECT_THROW(store.fetch_all(cluster, wanted), DmsError);
 }
 
+TEST(FeatureStore, FetchAllRejectsOutOfRangeRows) {
+  // An out-of-range id used to read past the feature matrix; it must throw
+  // like gather_rows does, before any row is copied.
+  Cluster cluster(ProcessGrid(2, 1), CostModel(LinkParams{}));
+  const DenseF h = make_features(8, 2);
+  FeatureStore store(cluster.grid(), h);
+  std::vector<std::vector<index_t>> too_big = {{0, 8}, {}};
+  EXPECT_THROW(store.fetch_all(cluster, too_big), DmsError);
+  std::vector<std::vector<index_t>> negative = {{}, {-1}};
+  EXPECT_THROW(store.fetch_all(cluster, negative), DmsError);
+  // In-range requests on the same store still succeed.
+  std::vector<std::vector<index_t>> ok = {{7}, {0}};
+  EXPECT_EQ(store.fetch_all(cluster, ok).size(), 2u);
+}
+
 }  // namespace
 }  // namespace dms

@@ -105,6 +105,23 @@ TEST(ThreadPool, ZeroIterationsIsNoop) {
   pool.parallel_for(0, [](index_t) { FAIL(); });
 }
 
+TEST(ThreadPool, ResolvePoolSizeAcceptsOnlyStrictPositiveIntegers) {
+  EXPECT_EQ(ThreadPool::resolve_pool_size("4", 8), 4);
+  EXPECT_EQ(ThreadPool::resolve_pool_size("1", 8), 1);
+  // Everything else falls back to the hardware size with a warning.
+  EXPECT_EQ(ThreadPool::resolve_pool_size(nullptr, 8), 8);
+  EXPECT_EQ(ThreadPool::resolve_pool_size("", 8), 8);
+  EXPECT_EQ(ThreadPool::resolve_pool_size("0", 8), 8);
+  EXPECT_EQ(ThreadPool::resolve_pool_size("-3", 8), 8);
+  EXPECT_EQ(ThreadPool::resolve_pool_size("four", 8), 8);
+  EXPECT_EQ(ThreadPool::resolve_pool_size("4x", 8), 8);   // trailing garbage
+  EXPECT_EQ(ThreadPool::resolve_pool_size(" 4 ", 8), 8);  // whitespace tail
+  EXPECT_EQ(ThreadPool::resolve_pool_size("99999999999999999999", 8), 8);
+  // A degenerate hardware report still yields a runnable pool.
+  EXPECT_EQ(ThreadPool::resolve_pool_size(nullptr, 0), 1);
+  EXPECT_EQ(ThreadPool::resolve_pool_size("junk", -2), 1);
+}
+
 TEST(Dense, BasicAccessAndNorm) {
   DenseD d(2, 2);
   d(0, 0) = 3.0;

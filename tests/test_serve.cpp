@@ -13,6 +13,7 @@
 #include "nn/model.hpp"
 #include "plan/optimize.hpp"
 #include "serve/engine.hpp"
+#include "serve/health.hpp"
 #include "test_util.hpp"
 
 namespace dms {
@@ -192,6 +193,285 @@ TEST(Coalescer, RejectsDegenerateConfigs) {
   Coalescer ok({0.0, 1});
   EXPECT_THROW(ok.ready_at(), DmsError);  // empty queue has no next batch
   EXPECT_THROW(ok.pop(0.0), DmsError);
+}
+
+TEST(Coalescer, DuplicateTimestampsDrainInFifoOrder) {
+  // Many requests arriving at the same instant must batch in push order,
+  // split cleanly at the cap, and never starve the tail.
+  Coalescer c({/*window=*/0.2, /*max_requests=*/3});
+  for (index_t i = 0; i < 7; ++i) c.push(make_request(i, {i}, 1.0));
+  EXPECT_DOUBLE_EQ(c.ready_at(), 1.0);  // cap met by the 3rd identical stamp
+  index_t next = 0;
+  while (!c.empty()) {
+    // The final partial batch (1 request < cap) waits out its window.
+    const CoalescedBatch b = c.pop(std::max(1.0, c.ready_at()));
+    ASSERT_FALSE(b.empty());
+    for (const ServeRequest& r : b.requests) EXPECT_EQ(r.id, next++);
+  }
+  EXPECT_EQ(next, 7);  // every request served exactly once
+}
+
+TEST(Coalescer, ZeroWidthWindowWithCapOnePreservesFifoWithoutStarvation) {
+  // The doubly-degenerate config: serve-on-arrival, one request per bulk.
+  Coalescer c({/*window=*/0.0, /*max_requests=*/1});
+  for (index_t i = 0; i < 4; ++i) {
+    c.push(make_request(i, {i}, 0.5));  // identical stamps
+  }
+  c.push(make_request(4, {4}, 0.7));
+  for (index_t expect = 0; expect < 5; ++expect) {
+    ASSERT_FALSE(c.empty());
+    const CoalescedBatch b = c.pop(std::max(0.7, c.ready_at()));
+    ASSERT_EQ(b.size(), 1u) << "cap=1 must never coalesce";
+    EXPECT_EQ(b.requests[0].id, expect);
+  }
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Coalescer, CapOneReadyAtIsTheFrontArrivalPlusWindow) {
+  Coalescer c({/*window=*/0.3, /*max_requests=*/1});
+  c.push(make_request(0, {1}, 2.0));
+  c.push(make_request(1, {2}, 2.1));
+  // Cap 1 is met by the front request itself: ready the instant it arrived.
+  EXPECT_DOUBLE_EQ(c.ready_at(), 2.0);
+  EXPECT_EQ(c.pop(2.0).requests[0].id, 0);
+  EXPECT_DOUBLE_EQ(c.ready_at(), 2.1);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: bounded admission, deadline shedding, health machine.
+
+TEST(Coalescer, TryPushBoundsTheQueue) {
+  CoalescerConfig cfg;
+  cfg.window = 1.0;
+  cfg.max_requests = 4;
+  cfg.max_pending = 2;
+  Coalescer c(cfg);
+  EXPECT_TRUE(c.try_push(make_request(0, {1}, 0.0)));
+  EXPECT_TRUE(c.try_push(make_request(1, {2}, 0.1)));
+  EXPECT_FALSE(c.try_push(make_request(2, {3}, 0.2)));  // full
+  EXPECT_EQ(c.pending(), 2u);
+  c.pop(1.0);
+  EXPECT_TRUE(c.try_push(make_request(3, {4}, 1.5)));  // drained -> admits
+  // push() ignores the bound (legacy unguarded path).
+  Coalescer unguarded(cfg);
+  for (index_t i = 0; i < 5; ++i) unguarded.push(make_request(i, {i}, 0.0));
+  EXPECT_EQ(unguarded.pending(), 5u);
+}
+
+TEST(Coalescer, ShedOverdueDropsExpiredRequestsAtFormation) {
+  CoalescerConfig cfg;
+  cfg.window = 0.1;
+  cfg.max_requests = 4;
+  cfg.shed_overdue = true;
+  Coalescer c(cfg);
+  ServeRequest dead = make_request(0, {1}, 0.0);
+  dead.deadline = 1.0;  // will be long gone by the time the server frees
+  ServeRequest live = make_request(1, {2}, 0.05);
+  live.deadline = 99.0;
+  ServeRequest no_deadline = make_request(2, {3}, 0.06);
+  c.push(dead);
+  c.push(live);
+  c.push(no_deadline);
+  const CoalescedBatch b = c.pop(5.0);  // server was busy for 5 s
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.requests[0].id, 1);
+  EXPECT_EQ(b.requests[1].id, 2);  // deadline-less requests are never shed
+  ASSERT_EQ(b.shed.size(), 1u);
+  EXPECT_EQ(b.shed[0].request_id, 0);
+  EXPECT_EQ(b.shed[0].reason, ShedReason::kDeadlineExceeded);
+  EXPECT_DOUBLE_EQ(b.shed[0].shed_at, 5.0);
+
+  // Without the flag the same sequence serves everything (legacy behavior).
+  cfg.shed_overdue = false;
+  Coalescer keep(cfg);
+  keep.push(dead);
+  keep.push(live);
+  keep.push(no_deadline);
+  const CoalescedBatch all = keep.pop(5.0);
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_TRUE(all.shed.empty());
+}
+
+TEST(Coalescer, ShedRequestsDoNotConsumeCapSlots) {
+  CoalescerConfig cfg;
+  cfg.window = 0.0;
+  cfg.max_requests = 2;
+  cfg.shed_overdue = true;
+  Coalescer c(cfg);
+  for (index_t i = 0; i < 2; ++i) {
+    ServeRequest r = make_request(i, {i}, 0.0);
+    r.deadline = 0.5;
+    c.push(r);
+  }
+  c.push(make_request(2, {2}, 0.1));
+  c.push(make_request(3, {3}, 0.2));
+  const CoalescedBatch b = c.pop(2.0);
+  // Both overdue requests shed; the cap still admits two servable ones.
+  ASSERT_EQ(b.shed.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.requests[0].id, 2);
+  EXPECT_EQ(b.requests[1].id, 3);
+}
+
+TEST(ServeStats, ShedAccountingByReason) {
+  ServeStats stats;
+  stats.record_shed({7, 1.0, 1.0, ShedReason::kQueueFull});
+  stats.record_shed({8, 1.0, 2.5, ShedReason::kDeadlineExceeded});
+  stats.record_shed({9, 2.0, 3.0, ShedReason::kDeadlineExceeded});
+  EXPECT_EQ(stats.num_shed(), 3u);
+  EXPECT_EQ(stats.num_shed(ShedReason::kQueueFull), 1u);
+  EXPECT_EQ(stats.num_shed(ShedReason::kDeadlineExceeded), 2u);
+  EXPECT_THROW(stats.record_shed({1, 5.0, 4.0, ShedReason::kQueueFull}),
+               DmsError);  // shed before arrival
+  stats.reset();
+  EXPECT_EQ(stats.num_shed(), 0u);
+}
+
+TEST(HealthMonitor, WalksTheStateMachineWithHysteresis) {
+  HealthConfig cfg;
+  cfg.queue_capacity = 10;
+  cfg.degraded_enter = 0.5;
+  cfg.degraded_exit = 0.2;
+  cfg.shed_enter = 0.9;
+  cfg.shed_exit = 0.5;
+  HealthMonitor m(cfg);
+  EXPECT_EQ(m.state(), HealthState::kHealthy);
+  EXPECT_TRUE(m.admit_arrivals());
+  EXPECT_FALSE(m.shed_overdue());
+
+  EXPECT_EQ(m.observe(4), HealthState::kHealthy);   // 0.4 < enter
+  EXPECT_EQ(m.observe(5), HealthState::kDegraded);  // 0.5 enters
+  EXPECT_TRUE(m.shed_overdue());
+  EXPECT_TRUE(m.admit_arrivals());
+  EXPECT_EQ(m.observe(4), HealthState::kDegraded);  // hysteresis: 0.2 < 0.4
+  EXPECT_EQ(m.observe(9), HealthState::kShedding);
+  EXPECT_FALSE(m.admit_arrivals());
+  EXPECT_EQ(m.observe(6), HealthState::kShedding);  // 0.6 > shed_exit
+  EXPECT_EQ(m.observe(5), HealthState::kDegraded);  // steps down one level
+  EXPECT_EQ(m.observe(1), HealthState::kHealthy);
+  EXPECT_FALSE(m.shed_overdue());
+  EXPECT_EQ(m.transitions(), 4u);
+  EXPECT_STREQ(to_string(m.state()), "healthy");
+}
+
+TEST(HealthMonitor, EmptyQueueFromSheddingPassesThroughDegraded) {
+  HealthConfig cfg;
+  cfg.queue_capacity = 4;
+  HealthMonitor m(cfg);
+  m.observe(4);  // 1.0 -> shedding directly from healthy
+  EXPECT_EQ(m.state(), HealthState::kShedding);
+  EXPECT_EQ(m.observe(0), HealthState::kDegraded);  // one level per tick
+  EXPECT_EQ(m.observe(0), HealthState::kHealthy);
+}
+
+TEST(HealthMonitor, RejectsInvertedThresholds) {
+  HealthConfig bad;
+  bad.degraded_exit = bad.degraded_enter;  // exit must be strictly below
+  EXPECT_THROW(HealthMonitor{bad}, DmsError);
+  bad = {};
+  bad.queue_capacity = 0;
+  EXPECT_THROW(HealthMonitor{bad}, DmsError);
+  bad = {};
+  bad.degraded_enter = 0.95;  // above shed_enter
+  EXPECT_THROW(HealthMonitor{bad}, DmsError);
+}
+
+TEST(HealthMonitor, GovernedOverloadKeepsAdmittedQueueWaitBounded) {
+  // A miniature closed-form overload: arrivals at twice the service rate.
+  // Ungoverned, the backlog (and thus admitted queue wait) grows linearly
+  // with the run; governed by the monitor + bounded queue + deadline
+  // shedding, admitted requests wait at most roughly cap * service time.
+  // Each bulk serves at most 2 requests in 0.2 s (10 requests/s of
+  // capacity) against arrivals every 0.05 s (20 requests/s): 2x overload.
+  const double service = 0.2;
+  const double interval = 0.05;
+  const index_t n = 200;
+
+  ServeStats governed, ungoverned;
+  {
+    // Ungoverned: unbounded queue, everything served.
+    CoalescerConfig ccfg;
+    ccfg.window = 0.02;
+    ccfg.max_requests = 2;
+    Coalescer coal(ccfg);
+    double server_free = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      coal.push(make_request(i, {i % 100}, static_cast<double>(i) * interval));
+    }
+    while (!coal.empty()) {
+      const double start = std::max(coal.ready_at(), server_free);
+      const CoalescedBatch b = coal.pop(start);
+      ASSERT_FALSE(b.empty());
+      BatchRecord br;
+      br.requests = b.size();
+      br.inference = service;
+      std::vector<RequestRecord> rr;
+      for (const ServeRequest& r : b.requests) {
+        rr.push_back({r.id, b.size(), start - r.arrival, service});
+      }
+      ungoverned.record(br, rr);
+      server_free = start + service;
+    }
+  }
+  {
+    // Governed: bounded queue + health monitor + deadline shedding.
+    CoalescerConfig ccfg;
+    ccfg.window = 0.02;
+    ccfg.max_requests = 2;
+    ccfg.max_pending = 8;
+    ccfg.shed_overdue = true;
+    Coalescer coal(ccfg);
+    HealthConfig hcfg;
+    hcfg.queue_capacity = 8;
+    HealthMonitor mon(hcfg);
+    double server_free = 0.0;
+    index_t next_arrival = 0;
+    while (next_arrival < n || !coal.empty()) {
+      // The next batch cannot start before the server frees, so every
+      // arrival due by then reaches admission control first.
+      const double now =
+          coal.empty() ? std::max(static_cast<double>(next_arrival) * interval,
+                                  server_free)
+                       : std::max(coal.ready_at(), server_free);
+      while (next_arrival < n &&
+             static_cast<double>(next_arrival) * interval <= now) {
+        ServeRequest r = make_request(next_arrival, {next_arrival % 100},
+                                      static_cast<double>(next_arrival) * interval);
+        r.deadline = r.arrival + 0.5;
+        ++next_arrival;
+        mon.observe(coal.pending());
+        if (!mon.admit_arrivals() || !coal.try_push(r)) {
+          governed.record_shed(
+              {r.id, r.arrival, r.arrival, ShedReason::kQueueFull});
+        }
+      }
+      if (coal.empty()) continue;
+      const double start = std::max(coal.ready_at(), server_free);
+      const CoalescedBatch b = coal.pop(start);
+      for (const ShedRecord& s : b.shed) governed.record_shed(s);
+      mon.observe(coal.pending());
+      if (b.empty()) continue;
+      BatchRecord br;
+      br.requests = b.size();
+      br.inference = service;
+      std::vector<RequestRecord> rr;
+      for (const ServeRequest& r : b.requests) {
+        rr.push_back({r.id, b.size(), start - r.arrival, service});
+      }
+      governed.record(br, rr);
+      server_free = start + service;
+    }
+    EXPECT_GT(mon.transitions(), 0u);
+  }
+
+  // Under 2x overload the governed server sheds real load...
+  EXPECT_GT(governed.num_shed(), 0u);
+  EXPECT_EQ(governed.num_requests() + governed.num_shed(),
+            static_cast<std::size_t>(n));
+  // ...and what it admits waits a bounded time, far below the ungoverned
+  // tail (which grows linearly with the run length).
+  EXPECT_LT(governed.queue_wait_percentile(99.0),
+            ungoverned.queue_wait_percentile(99.0) / 2.0);
 }
 
 // ---------------------------------------------------------------------------

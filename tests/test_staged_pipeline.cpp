@@ -115,17 +115,20 @@ TEST(StagedPipeline, CacheAccountingExactlyCoversRequestedRows) {
 }
 
 TEST(StagedPipeline, OverlapHidesPrefetchableTime) {
-  // Comm- and overhead-dominated config so the comparison is driven by the
-  // deterministic modeled costs, not host timing noise: bulk rounds of two
-  // steps, large launch overhead (sampling rounds hide under training) and
-  // slow links (fetches hide under propagation).
+  // Purely modeled comparison: an enormous compute_scale zeroes out the
+  // host-measured kernel times, so both totals are deterministic functions
+  // of launch overhead and link bytes — no wall-clock noise. Two single-step
+  // bulk rounds: round 1's sampling overhead hides under round 0's unhidden
+  // fetch, and the fetches themselves ride the slow links.
   const Dataset ds = small_planted();
   LinkParams link;
   link.launch_overhead = 5e-4;
   link.beta_inter = 1e-7;
   link.beta_intra = 1e-7;
+  link.compute_scale = 1e12;
+  link.irregular_compute_scale = 1e12;
   PipelineConfig cfg = config_for(SamplerKind::kGraphSage, DistMode::kReplicated);
-  cfg.bulk_k = 8;
+  cfg.bulk_k = 4;
 
   cfg.overlap = false;
   Cluster c_sync(ProcessGrid(4, 1), CostModel(link));
