@@ -112,6 +112,23 @@ void Cluster::reset_clock() {
   // cumulative like FeatureCacheStats.
 }
 
+void Cluster::drain_into(Cluster& dst) {
+  check(&dst != this, "drain_into: cannot drain a cluster into itself");
+  for (const auto& [phase, sec] : compute_time_) {
+    dst.compute_time_[phase] += sec;
+  }
+  for (const auto& [phase, s] : comm_stats_) {
+    CommStats& d = dst.comm_stats_[phase];
+    d.seconds += s.seconds;
+    d.bytes += s.bytes;
+    d.messages += s.messages;
+  }
+  dst.overlap_credit_ += overlap_credit_;
+  compute_time_.clear();
+  comm_stats_.clear();
+  overlap_credit_ = 0.0;
+}
+
 void Cluster::install_faults(const FaultPlan* plan, RecoveryPolicy policy) {
   check(policy.max_attempts >= 1,
         "install_faults: max_attempts must be >= 1");

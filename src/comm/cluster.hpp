@@ -106,6 +106,14 @@ class Cluster {
 
   void reset_clock();
 
+  /// Merges this cluster's compute/comm tables and overlap credit into
+  /// `dst`, then clears them here (fault state is untouched on both sides).
+  /// Times are moved raw — they were already scaled/faulted when recorded —
+  /// and no loss draws replay on `dst`. Used by the disaggregated pipeline:
+  /// the sampler-role sub-cluster accumulates a round's phases, then drains
+  /// them into the main cluster so one clock covers both roles.
+  void drain_into(Cluster& dst);
+
   // --- Fault injection (DESIGN.md §13) -----------------------------------
   //
   // With a FaultPlan installed, the cluster becomes the single chokepoint

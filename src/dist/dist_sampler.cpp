@@ -34,8 +34,6 @@ PartitionedSamplerBase::PartitionedSamplerBase(const Graph& graph,
   for (const index_t f : exec_.config().fanouts) {
     check(f > 0, name + ": fanouts must be positive");
   }
-  check(opts_.ladies_extract_chunk > 0,
-        name + ": ladies_extract_chunk must be positive");
   if (exec_.plan().needs_global_weights) {
     global_weights_ = fastgcn_importance_prefix(graph);
   }

@@ -54,12 +54,6 @@ struct PartitionedSamplerOptions {
   /// Use the sparsity-aware 1.5D SpGEMM variant (§5.2.1; Ballard et al.)
   /// instead of broadcasting whole A block rows.
   bool sparsity_aware = true;
-  /// §8.2.2: historical bound on the LADIES column-extraction chunk size.
-  /// The engine's masked kernel now extracts all sampled columns in one
-  /// pass without intermediate products, so this no longer affects memory
-  /// or results; it is kept (and still validated as positive) for API
-  /// compatibility.
-  index_t ladies_extract_chunk = 4096;
   /// Engine options threaded into the 1.5D SpGEMM's local panel multiplies
   /// (Spgemm15dOptions::local). kAuto picks kernels per panel; all choices
   /// are bit-identical, preserving the grid-shape equivalence contract.

@@ -38,6 +38,8 @@ std::string to_string(DistMode mode) {
       return "replicated";
     case DistMode::kPartitioned:
       return "partitioned";
+    case DistMode::kDisaggregated:
+      return "disaggregated";
   }
   return "unknown";
 }
@@ -178,6 +180,28 @@ SamplerRegistry::SamplerRegistry() {
         sampler->bind_cluster(ctx.cluster);
         return sampler;
       });
+  // Disaggregated sampler/trainer roles (DESIGN.md §14): the sampling side
+  // is the algorithm's partitioned form built over the *sampler sub-grid* of
+  // the disaggregated layout — one creator shape covers every kind, and a
+  // runtime re-registration of a (kind, kPartitioned) slot is picked up by
+  // the disaggregated mode automatically. ctx.cluster is dropped: its grid
+  // is the full cluster's, so it cannot be bound to the sub-grid sampler
+  // (the pipeline binds its sampler-role sub-cluster after construction).
+  for (const SamplerKind kind :
+       {SamplerKind::kGraphSage, SamplerKind::kLadies, SamplerKind::kFastGcn,
+        SamplerKind::kLabor, SamplerKind::kGraphSaint, SamplerKind::kNode2Vec,
+        SamplerKind::kPinSage}) {
+    register_creator(kind, DistMode::kDisaggregated,
+                     [kind](const Graph& g, const SamplerContext& ctx) {
+                       const DisaggLayout layout = make_disagg_layout(
+                           require_grid(ctx, "disaggregated"), ctx.disagg);
+                       SamplerContext sub = ctx;
+                       sub.grid = &layout.sampler_grid;
+                       sub.cluster = nullptr;
+                       return SamplerRegistry::instance().create(
+                           kind, DistMode::kPartitioned, g, sub);
+                     });
+  }
 }
 
 SamplerRegistry& SamplerRegistry::instance() {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/sampler.hpp"
+#include "dist/disagg.hpp"
 #include "dist/dist_sampler.hpp"
 
 namespace dms {
@@ -35,7 +36,12 @@ enum class SamplerKind {
   kNode2Vec,
   kPinSage,
 };
-enum class DistMode { kReplicated, kPartitioned };
+/// kDisaggregated: sampler/trainer rank roles (DESIGN.md §14). The factory
+/// builds the algorithm's partitioned form over the *sampler sub-grid* of
+/// make_disagg_layout(ctx.grid, ctx.disagg) — the dist lowering pass thereby
+/// places every plan op on the sampler ranks; the training pipeline runs the
+/// trainer role on the remaining ranks.
+enum class DistMode { kReplicated, kPartitioned, kDisaggregated };
 
 std::string to_string(SamplerKind kind);
 std::string to_string(DistMode mode);
@@ -55,14 +61,21 @@ struct WalkParams {
 /// Everything a sampler creator may need beyond the graph.
 struct SamplerContext {
   SamplerConfig config;
-  /// Partitioned modes: the process grid to partition over (required).
+  /// Partitioned modes: the process grid to partition over (required). For
+  /// kDisaggregated this is the *full* cluster grid; the creator derives the
+  /// sampler sub-grid from it via make_disagg_layout(grid, disagg).
   const ProcessGrid* grid = nullptr;
   PartitionedSamplerOptions part_opts;
   /// Optional long-lived cluster bound to partitioned samplers so their
-  /// MatrixSampler::sample_bulk records phases on it.
+  /// MatrixSampler::sample_bulk records phases on it. Ignored by the
+  /// kDisaggregated creators (the bound cluster's grid must match the
+  /// sampler's sub-grid — the pipeline binds its sampler-role sub-cluster
+  /// after construction instead).
   Cluster* cluster = nullptr;
   /// Walk-sampler parameters (walk kinds only).
   WalkParams walk;
+  /// Sampler/trainer split (kDisaggregated only; defaults auto-split).
+  DisaggOptions disagg;
 };
 
 using SamplerCreator = std::function<std::unique_ptr<MatrixSampler>(

@@ -1,5 +1,7 @@
 #include "train/feature_cache.hpp"
 
+#include <algorithm>
+
 namespace dms {
 
 FeatureRowCache::FeatureRowCache(FeatureCacheConfig cfg) : cfg_(cfg) {
@@ -35,6 +37,12 @@ void FeatureRowCache::pin(const std::vector<index_t>& rows) {
 
 std::vector<index_t> FeatureRowCache::lru_order() const {
   return {order_.begin(), order_.end()};
+}
+
+std::vector<index_t> FeatureRowCache::pinned_rows() const {
+  std::vector<index_t> rows(pinned_.begin(), pinned_.end());
+  std::sort(rows.begin(), rows.end());
+  return rows;
 }
 
 }  // namespace dms

@@ -10,7 +10,12 @@
 //    least-recently-used order once `capacity_rows` is reached;
 //  - kDegreePinned: a static set of rows (the caller pins the top-degree
 //    vertices, à la Quiver's hotness cache) is resident for the whole run
-//    and nothing else is ever admitted.
+//    and nothing else is ever admitted;
+//  - kPreSample: like kDegreePinned, but the pinned set is the
+//    top-`capacity_rows` rows by *measured* touch count from seeded warmup
+//    sampling rounds the pipeline runs before epoch 0 (FGNN's pre-sampling
+//    admission, DESIGN.md §14) — degree is a proxy for hotness, warmup
+//    sampling measures it.
 //
 // A zero capacity (or kNone) degenerates to the uncached behavior: every
 // remote row is a miss and moves over the wire.
@@ -26,7 +31,7 @@
 
 namespace dms {
 
-enum class CachePolicy { kNone, kLru, kDegreePinned };
+enum class CachePolicy { kNone, kLru, kDegreePinned, kPreSample };
 
 struct FeatureCacheConfig {
   CachePolicy policy = CachePolicy::kNone;
@@ -43,6 +48,10 @@ struct FeatureCacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
   std::size_t local = 0;
+  /// Subset of `hits` served by the pinned (hotness) set — how much of the
+  /// win is attributable to the kDegreePinned / kPreSample admission rather
+  /// than LRU recency. Always <= hits.
+  std::size_t pinned_hits = 0;
   std::size_t bytes_moved = 0;  ///< payload that crossed the wire
   std::size_t bytes_saved = 0;  ///< payload avoided by cache hits
 
@@ -61,6 +70,7 @@ struct FeatureCacheStats {
             sub(hits, o.hits, "hits"),
             sub(misses, o.misses, "misses"),
             sub(local, o.local, "local"),
+            sub(pinned_hits, o.pinned_hits, "pinned_hits"),
             sub(bytes_moved, o.bytes_moved, "bytes_moved"),
             sub(bytes_saved, o.bytes_saved, "bytes_saved")};
   }
@@ -91,16 +101,23 @@ class FeatureRowCache {
   /// True if `v` is resident. LRU: a hit refreshes v's recency.
   bool lookup(index_t v);
 
+  /// True if `v` is in the pinned set (kDegreePinned / kPreSample hotness
+  /// accounting; does not touch recency).
+  bool pinned(index_t v) const { return pinned_.count(v) > 0; }
+
   /// Admits `v` after a miss. LRU: evicts the least-recently-used row when
   /// at capacity. Pinned caches are static — insert is a no-op.
   void insert(index_t v);
 
-  /// Pins `rows` as permanently resident (kDegreePinned). Throws if the
-  /// pinned set exceeds capacity.
+  /// Pins `rows` as permanently resident (kDegreePinned / kPreSample).
+  /// Throws if the pinned set exceeds capacity.
   void pin(const std::vector<index_t>& rows);
 
   /// Resident non-pinned rows, least-recently-used first.
   std::vector<index_t> lru_order() const;
+
+  /// The pinned set, sorted ascending (tests / the warmup-stability checks).
+  std::vector<index_t> pinned_rows() const;
 
  private:
   FeatureCacheConfig cfg_;

@@ -1,6 +1,7 @@
 #include "train/feature_store.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/timer.hpp"
 
@@ -8,11 +9,16 @@ namespace dms {
 
 FeatureStore::FeatureStore(const ProcessGrid& grid, const DenseF& features,
                            FeatureStoreOptions opts)
-    : part_(features.rows(), grid.rows()),
+    : grid_(grid),
+      part_(features.rows(), grid.rows()),
       dim_(features.cols()),
-      opts_(opts),
+      opts_(std::move(opts)),
       src_rows_(features.rows()),
-      caches_(static_cast<std::size_t>(grid.size()), FeatureRowCache(opts.cache)) {
+      caches_(static_cast<std::size_t>(grid.size()),
+              FeatureRowCache(opts_.cache)) {
+  check(opts_.global_ranks.empty() ||
+            static_cast<int>(opts_.global_ranks.size()) == grid_.size(),
+        "FeatureStore: global_ranks must map every rank of the store's grid");
   if (opts_.own_copy) {
     owned_ = features;
     features_ = &owned_;
@@ -69,6 +75,7 @@ std::size_t FeatureStore::gather_rows(int rank, const std::vector<index_t>& want
       ++stats_.local;
     } else if (cache.lookup(v)) {
       ++stats_.hits;
+      if (cache.pinned(v)) ++stats_.pinned_hits;
       stats_.bytes_saved += row_bytes;
     } else {
       ++stats_.misses;
@@ -83,9 +90,10 @@ std::size_t FeatureStore::gather_rows(int rank, const std::vector<index_t>& want
 std::vector<DenseF> FeatureStore::fetch_all(
     Cluster& cluster, const std::vector<std::vector<index_t>>& wanted,
     const std::string& phase) {
-  const ProcessGrid& grid = cluster.grid();
+  const ProcessGrid& grid = grid_;
   check(static_cast<int>(wanted.size()) == grid.size(),
-        "FeatureStore::fetch_all: need one request list per rank");
+        "FeatureStore::fetch_all: need one request list per rank of the "
+        "store's grid");
   const CostModel& model = cluster.cost_model();
   const DenseF& h = source();
   const std::size_t row_bytes = static_cast<std::size_t>(dim_) * sizeof(float);
@@ -123,6 +131,7 @@ std::vector<DenseF> FeatureStore::fetch_all(
           ++stats_.local;
         } else if (cache.lookup(v)) {
           ++stats_.hits;
+          if (cache.pinned(v)) ++stats_.pinned_hits;
           stats_.bytes_saved += row_bytes;
         } else {
           // Row shipped from (owner_row, j) to (my_row, j); now resident.
@@ -135,7 +144,16 @@ std::vector<DenseF> FeatureStore::fetch_all(
       max_gather = std::max(max_gather, t.seconds());
     }
 
-    const double t_col = model.alltoallv(col, send_bytes);
+    // Cost-model ranks: translate the store's local ranks onto the cluster's
+    // ids so link classification (intra/inter node) matches where those
+    // ranks actually live (identity when global_ranks is empty).
+    std::vector<int> cost_col = col;
+    if (!opts_.global_ranks.empty()) {
+      for (auto& r : cost_col) {
+        r = opts_.global_ranks[static_cast<std::size_t>(r)];
+      }
+    }
+    const double t_col = model.alltoallv(cost_col, send_bytes);
     worst_column_comm = std::max(worst_column_comm, t_col);
     for (const auto& rowvec : send_bytes) {
       for (const std::size_t b : rowvec) {

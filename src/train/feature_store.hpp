@@ -27,6 +27,13 @@ struct FeatureStoreOptions {
   /// this whenever the source does not outlive the store (see the lifetime
   /// contract on the constructor).
   bool own_copy = false;
+  /// Maps the store's local rank ids onto the ids of a larger cluster for
+  /// CostModel purposes only (intra-/inter-node link classification). Empty
+  /// means identity. The disaggregated pipeline partitions H over the
+  /// *trainer* sub-grid but the trainers occupy global ranks [s, p) of the
+  /// full cluster; global_ranks[local] = s + local keeps the modeled
+  /// all-to-allv on the links those ranks actually use.
+  std::vector<int> global_ranks;
 };
 
 class FeatureStore {
@@ -65,6 +72,11 @@ class FeatureStore {
   /// cache-resident on the requester, and returns one gathered
   /// (|wanted[r]| × f) matrix per rank. Records comm + gather compute under
   /// `phase`; classifies every requested row into cache_stats().
+  ///
+  /// `wanted` is indexed by the *store's* grid (one list per rank of the
+  /// grid passed at construction) — under disaggregation that is the trainer
+  /// sub-grid, not `cluster.grid()`. Costs are recorded on `cluster` with
+  /// ranks translated through FeatureStoreOptions::global_ranks.
   std::vector<DenseF> fetch_all(Cluster& cluster,
                                 const std::vector<std::vector<index_t>>& wanted,
                                 const std::string& phase = "fetch");
@@ -93,9 +105,14 @@ class FeatureStore {
     return caches_[static_cast<std::size_t>(rank)];
   }
 
+  /// The grid H is partitioned over (the trainer sub-grid under
+  /// disaggregation; the full cluster grid otherwise).
+  const ProcessGrid& grid() const { return grid_; }
+
  private:
   const DenseF& source() const;
 
+  ProcessGrid grid_;
   BlockPartition part_;
   index_t dim_ = 0;
   FeatureStoreOptions opts_;

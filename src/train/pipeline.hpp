@@ -58,8 +58,19 @@ struct PipelineConfig {
   /// never changes the samples (the determinism contract), only the clock.
   index_t prefetch_rounds = 4;
   /// Per-rank feature-row cache (policy + capacity in rows). kDegreePinned
-  /// pins the capacity_rows highest-out-degree vertices.
+  /// pins the capacity_rows highest-out-degree vertices; kPreSample pins
+  /// the capacity_rows vertices touched most often by a seeded warmup
+  /// sampling pass run once at pipeline construction (DESIGN.md §14).
   FeatureCacheConfig feature_cache;
+  /// Warmup bulk rounds for CachePolicy::kPreSample: the warmup pass
+  /// samples presample_rounds × p minibatches (drawn from as many fresh
+  /// batch permutations as that takes, under a dedicated seed lineage —
+  /// never the training epochs') to measure row hotness. The one-time cost is billed to the first trained epoch as
+  /// the "warmup" phase.
+  index_t presample_rounds = 2;
+  /// Sampler/trainer split (mode == kDisaggregated only; defaults
+  /// auto-split — see DisaggOptions).
+  DisaggOptions disagg;
 };
 
 struct EpochStats {
@@ -76,11 +87,18 @@ struct EpochStats {
   /// plus stalls where the covering stage was too short). For an overlapped
   /// epoch, overlap_saved + stall == sampling + fetch exactly.
   double stall = 0.0;
+  /// One-time kPreSample warmup cost, billed to the first trained epoch
+  /// (zero afterwards and for every other policy). Part of `total` but not
+  /// of `sampling`, so the overlap invariant above is unaffected.
+  double warmup = 0.0;
   /// Feature-fetch row classification for the epoch (see FeatureCacheStats):
   /// every requested row is exactly one of hit / miss / local.
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t cache_local = 0;
+  /// Hits served by the pinned set (<= cache_hits; the whole hit count for
+  /// the pinned-only kDegreePinned / kPreSample policies).
+  std::size_t cache_pinned_hits = 0;
   std::size_t fetch_bytes = 0;        ///< feature payload that crossed the wire
   std::size_t fetch_bytes_saved = 0;  ///< payload avoided by cache hits
   std::map<std::string, double> compute_phases;  ///< full breakdown
@@ -162,17 +180,36 @@ class Pipeline {
  private:
   friend class StagedPipeline;  ///< the epoch executor drives the components
 
+  /// kPreSample warmup (construction time): runs presample_rounds seeded
+  /// bulk rounds through the sampler, counts per-row touches, and pins the
+  /// capacity_rows hottest rows. Stores the one-time cost for the first
+  /// epoch to bill as the "warmup" phase.
+  void presample_warmup();
+
   Cluster& cluster_;
   const Dataset& ds_;
   PipelineConfig cfg_;
+  /// Role layout when mode == kDisaggregated (value-initialized otherwise).
+  /// Declared before features_: the store partitions H over the trainer
+  /// sub-grid in that mode.
+  DisaggLayout disagg_;
   FeatureStore features_;
   /// Constructed through make_sampler (the factory is the only construction
   /// path for samplers in the pipeline).
   std::unique_ptr<MatrixSampler> sampler_;
-  /// Non-owning distributed view of sampler_ when mode == kPartitioned.
+  /// Non-owning distributed view of sampler_ when mode != kReplicated (the
+  /// disaggregated sampler *is* the algorithm's partitioned form over the
+  /// sampler sub-grid).
   PartitionedSamplerBase* partitioned_ = nullptr;
+  /// Sampler-role sub-cluster (mode == kDisaggregated): sampling phases
+  /// accumulate here and drain into cluster_ every bulk round, so one clock
+  /// covers both roles. Same CostModel; the sampler sub-grid's local ranks
+  /// coincide with global ranks [0, s), so link classification is exact.
+  std::unique_ptr<Cluster> disagg_cluster_;
   SageModel model_;
   std::unique_ptr<Optimizer> optimizer_;
+  double warmup_cost_ = 0.0;     ///< measured by presample_warmup()
+  bool pending_warmup_ = false;  ///< first run_range consumes + bills it
 };
 
 }  // namespace dms

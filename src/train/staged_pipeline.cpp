@@ -18,6 +18,19 @@ constexpr double kKernelsPerLayer = 4.0;
 
 bool has_sample(const MinibatchSample& s) { return !s.batch_vertices.empty(); }
 
+/// Payload of one materialized minibatch crossing the sampler → trainer
+/// boundary: batch ids plus every layer's sampled adjacency and its
+/// row/column vertex maps — exactly what train_step consumes.
+std::size_t sample_bytes(const MinibatchSample& s) {
+  std::size_t b = s.batch_vertices.size() * sizeof(index_t);
+  for (const LayerSample& l : s.layers) {
+    b += l.adj.bytes();
+    b += l.row_vertices.size() * sizeof(index_t);
+    b += l.col_vertices.size() * sizeof(index_t);
+  }
+  return b;
+}
+
 }  // namespace
 
 double StagedPipeline::clock() const {
@@ -32,10 +45,14 @@ void StagedPipeline::assign_batches(const std::vector<index_t>& remaining,
   const auto n = static_cast<index_t>(remaining.size());
   index_t max_steps = boundary;
 
-  if (p_.cfg_.mode == DistMode::kReplicated) {
+  if (p_.cfg_.mode != DistMode::kPartitioned) {
     // §5.1/§6.1: minibatches block-assigned to the alive ranks; each rank
     // trains its block in order. With every rank alive this is exactly the
-    // classic BlockPartition(k, p) assignment.
+    // classic BlockPartition(k, p) assignment. kDisaggregated inherits this
+    // branch unchanged: its p *logical slots* carry the replicated
+    // placement (same step grouping, same accumulation order — the source
+    // of its loss bit-identity to kReplicated), and only the physical
+    // execution maps slots onto trainer ranks (DESIGN.md §14).
     const std::vector<int> alive = cluster.alive_ranks();
     check(!alive.empty() || n == 0,
           "StagedPipeline: every rank has crashed — cannot continue the epoch");
@@ -119,6 +136,13 @@ bool StagedPipeline::recover_at_boundary(std::size_t g) {
     }
   }
   if (!changed) return false;
+  // Crash recovery is not supported across disaggregated roles: a dead
+  // sampler row loses adjacency blocks and a dead trainer its feature
+  // block, and neither re-partitioning is implemented. Transient loss and
+  // stragglers still apply (they never reach this path).
+  check(p_.cfg_.mode != DistMode::kDisaggregated,
+        "StagedPipeline: rank crash in disaggregated mode — crash recovery "
+        "requires a colocated (replicated/partitioned) pipeline");
   for (int r = 0; r < p; ++r) {
     alive_[static_cast<std::size_t>(r)] = cluster.alive(r) ? 1 : 0;
   }
@@ -159,6 +183,15 @@ EpochStats StagedPipeline::run_range(int epoch, index_t end_round,
   check(cursor->epoch == epoch,
         "StagedPipeline::run_range: cursor belongs to a different epoch");
   cluster.reset_clock();
+  if (p_.disagg_cluster_) p_.disagg_cluster_->reset_clock();
+  if (p_.pending_warmup_) {
+    // The kPreSample warmup bills its one-time cost to the first trained
+    // epoch as its own overhead phase: it reaches total_time() and the
+    // breakdown, but stays outside `sampling`, so the overlap invariant
+    // (overlap_saved + stall == sampling + fetch) is untouched.
+    cluster.add_overhead("warmup", p_.warmup_cost_);
+    p_.pending_warmup_ = false;
+  }
   const std::uint64_t epoch_seed =
       derive_seed(cfg.seed, 0xe90c, static_cast<std::uint64_t>(epoch));
   const auto batches = make_epoch_batches(p_.ds_.train_idx, cfg.batch_size, epoch_seed);
@@ -250,9 +283,14 @@ EpochStats StagedPipeline::run_range(int epoch, index_t end_round,
   cursor->seen = seen_;
 
   EpochStats stats;
+  // The sampler → trainer handoff is part of every disaggregated round's
+  // cost (inside s_cost), so it belongs to the prefetchable `sampling` side
+  // of the overlap invariant.
   stats.sampling = cluster.phase_time(kPhaseSampling) +
                    cluster.phase_time(kPhaseProbability) +
-                   cluster.phase_time(kPhaseExtraction);
+                   cluster.phase_time(kPhaseExtraction) +
+                   cluster.phase_time("handoff");
+  stats.warmup = cluster.phase_time("warmup");
   stats.fetch = cluster.phase_time("fetch");
   stats.propagation = cluster.phase_time("propagation");
   stats.total = cluster.total_time();
@@ -265,6 +303,7 @@ EpochStats StagedPipeline::run_range(int epoch, index_t end_round,
   stats.cache_hits = d.hits;
   stats.cache_misses = d.misses;
   stats.cache_local = d.local;
+  stats.cache_pinned_hits = d.pinned_hits;
   stats.fetch_bytes = d.bytes_moved;
   stats.fetch_bytes_saved = d.bytes_saved;
   stats.compute_phases = cluster.compute_time();
@@ -289,9 +328,15 @@ EpochStats StagedPipeline::run_range(int epoch, index_t end_round,
 
 double StagedPipeline::sample_round(const BulkRound& round,
                                     std::uint64_t epoch_seed) {
-  return p_.cfg_.mode == DistMode::kReplicated
-             ? replicated_round(round, epoch_seed)
-             : partitioned_round(round, epoch_seed);
+  switch (p_.cfg_.mode) {
+    case DistMode::kReplicated:
+      return replicated_round(round, epoch_seed);
+    case DistMode::kPartitioned:
+      return partitioned_round(round, epoch_seed);
+    case DistMode::kDisaggregated:
+      return disaggregated_round(round, epoch_seed);
+  }
+  return 0.0;
 }
 
 double StagedPipeline::replicated_round(const BulkRound& round,
@@ -380,18 +425,121 @@ double StagedPipeline::partitioned_round(const BulkRound& round,
   return clock() - before;
 }
 
+double StagedPipeline::disaggregated_round(const BulkRound& round,
+                                           std::uint64_t epoch_seed) {
+  Cluster& cluster = p_.cluster_;
+  Cluster& sub = *p_.disagg_cluster_;
+  const DisaggLayout& layout = p_.disagg_;
+  const double before = clock();
+  const int p = cluster.size();
+  const double launch = cluster.cost_model().link().launch_overhead;
+  const auto num_layers = static_cast<double>(p_.cfg_.fanouts.size());
+
+  // The round's batches in (step, slot) order — the same logical schedule
+  // the replicated path trains; which sampler row materializes a batch is
+  // irrelevant to its content (the determinism contract).
+  std::vector<std::vector<index_t>> sub_batches;
+  std::vector<index_t> sub_ids;
+  for (index_t t = round.step_begin; t < round.step_end; ++t) {
+    for (int r = 0; r < p; ++r) {
+      const index_t b = step_batches_[static_cast<std::size_t>(r)]
+                                     [static_cast<std::size_t>(t)];
+      if (b < 0) continue;
+      sub_batches.push_back((*batches_)[static_cast<std::size_t>(b)]);
+      sub_ids.push_back(b);
+    }
+  }
+  if (sub_batches.empty()) return 0.0;
+
+  // Sampler role: the partitioned algorithm runs over the sampler sub-grid
+  // and records on the sub-cluster, whose tables then drain raw into the
+  // main clock — one clock covers both roles.
+  auto per_row = p_.partitioned_->sample_bulk(sub, sub_batches, sub_ids,
+                                              epoch_seed);
+  sub.drain_into(cluster);
+  cluster.add_overhead(kPhaseSampling, launch * kKernelsPerLayer * num_layers);
+
+  // Handoff: each materialized sample streams from the sampler row that
+  // produced it to the trainer executing its slot. A trainer receives its
+  // samples serially (sum of p2p times); trainers receive concurrently
+  // (max). record_comm on the main cluster means transient-loss fault
+  // plans retry the handoff like any other modeled message.
+  const CostModel& model = cluster.cost_model();
+  std::vector<double> per_trainer(static_cast<std::size_t>(layout.trainers),
+                                  0.0);
+  std::size_t total_bytes = 0;
+  std::size_t total_msgs = 0;
+  std::size_t q = 0;
+  int row_i = 0;
+  for (auto& row_samples : per_row) {
+    const int src = layout.sampler_rank(layout.sampler_grid.rank_of(row_i, 0));
+    for (auto& ms : row_samples) {
+      const Placement& pl = placement_[static_cast<std::size_t>(sub_ids[q++])];
+      const int tj = layout.trainer_of_slot(pl.rank);  // pl.rank is the slot
+      const std::size_t bytes = sample_bytes(ms);
+      per_trainer[static_cast<std::size_t>(tj)] +=
+          model.p2p(src, layout.trainer_rank(tj), bytes);
+      total_bytes += bytes;
+      ++total_msgs;
+      queues_[static_cast<std::size_t>(pl.rank)][static_cast<std::size_t>(pl.step)] =
+          std::move(ms);
+    }
+    ++row_i;
+  }
+  const double worst =
+      *std::max_element(per_trainer.begin(), per_trainer.end());
+  cluster.record_comm("handoff", worst, total_bytes, total_msgs);
+  return clock() - before;
+}
+
 double StagedPipeline::fetch_step(index_t t, std::vector<DenseF>& gathered) {
   Cluster& cluster = p_.cluster_;
   const double before = clock();
   const int p = cluster.size();
-  // Feature fetching: all-to-allv across process columns (§6.2).
-  std::vector<std::vector<index_t>> wanted(static_cast<std::size_t>(p));
-  for (int r = 0; r < p; ++r) {
-    const MinibatchSample& s =
-        queues_[static_cast<std::size_t>(r)][static_cast<std::size_t>(t)];
-    if (has_sample(s)) wanted[static_cast<std::size_t>(r)] = s.input_vertices();
+  if (p_.cfg_.mode != DistMode::kDisaggregated) {
+    // Feature fetching: all-to-allv across process columns (§6.2).
+    std::vector<std::vector<index_t>> wanted(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      const MinibatchSample& s =
+          queues_[static_cast<std::size_t>(r)][static_cast<std::size_t>(t)];
+      if (has_sample(s)) wanted[static_cast<std::size_t>(r)] = s.input_vertices();
+    }
+    gathered = p_.features_.fetch_all(cluster, wanted, "fetch");
+    return clock() - before;
   }
-  gathered = p_.features_.fetch_all(cluster, wanted, "fetch");
+
+  // Disaggregated: the store spans only the t trainer ranks, and each
+  // trainer executes the p/t slots mapped to it sequentially — so step t's
+  // fetch runs as ceil(p/t) waves of the trainer-grid all-to-allv, wave w
+  // covering slots [w*t, w*t + t), one per trainer. Gathered matrices stay
+  // slot-indexed for train_step.
+  const DisaggLayout& layout = p_.disagg_;
+  const int trainers = layout.trainers;
+  std::vector<DenseF> slot_gathered(static_cast<std::size_t>(p));
+  for (int w = 0; w * trainers < p; ++w) {
+    std::vector<std::vector<index_t>> wanted(
+        static_cast<std::size_t>(trainers));
+    bool any = false;
+    for (int j = 0; j < trainers; ++j) {
+      const int slot = w * trainers + j;
+      if (slot >= p) break;
+      const MinibatchSample& s =
+          queues_[static_cast<std::size_t>(slot)][static_cast<std::size_t>(t)];
+      if (has_sample(s)) {
+        wanted[static_cast<std::size_t>(j)] = s.input_vertices();
+        any = true;
+      }
+    }
+    if (!any) continue;
+    auto wave = p_.features_.fetch_all(cluster, wanted, "fetch");
+    for (int j = 0; j < trainers; ++j) {
+      const int slot = w * trainers + j;
+      if (slot >= p) break;
+      slot_gathered[static_cast<std::size_t>(slot)] =
+          std::move(wave[static_cast<std::size_t>(j)]);
+    }
+  }
+  gathered = std::move(slot_gathered);
   return clock() - before;
 }
 
@@ -400,8 +548,15 @@ double StagedPipeline::train_step(index_t t, const std::vector<DenseF>& gathered
   const double before = clock();
   const int p = cluster.size();
   const std::size_t param_bytes = p_.model_.param_bytes();
+  const bool disagg = p_.cfg_.mode == DistMode::kDisaggregated;
 
-  // Propagation: fwd/bwd per rank, then gradient all-reduce.
+  // Propagation: fwd/bwd per rank, then gradient all-reduce. The slot loop
+  // (order, accumulation, averaging) is identical in every mode — that is
+  // the disaggregated loss bit-identity. Only the *timing* differs under
+  // disaggregation: a trainer executes its slots serially (sum), trainers
+  // run concurrently (max over trainers instead of max over slots).
+  std::vector<double> trainer_prop(
+      disagg ? static_cast<std::size_t>(p_.disagg_.trainers) : 0, 0.0);
   double max_prop = 0.0;
   int active = 0;
   for (int r = 0; r < p; ++r) {
@@ -415,7 +570,12 @@ double StagedPipeline::train_step(index_t t, const std::vector<DenseF>& gathered
     Timer timer;
     const LossResult res =
         p_.model_.train_step(sample, gathered[static_cast<std::size_t>(r)], labels);
-    max_prop = std::max(max_prop, timer.seconds());
+    if (disagg) {
+      trainer_prop[static_cast<std::size_t>(p_.disagg_.trainer_of_slot(r))] +=
+          timer.seconds();
+    } else {
+      max_prop = std::max(max_prop, timer.seconds());
+    }
     loss_sum_ += res.loss * static_cast<double>(labels.size());
     correct_ += res.correct;
     seen_ += static_cast<index_t>(labels.size());
@@ -423,15 +583,27 @@ double StagedPipeline::train_step(index_t t, const std::vector<DenseF>& gathered
     sample = MinibatchSample{};  // trained — release the round's memory
   }
   if (active > 0) {
+    if (disagg) {
+      max_prop = *std::max_element(trainer_prop.begin(), trainer_prop.end());
+    }
     // Shared-model gradient accumulation across ranks == all-reduce sum;
     // average and step once (identical to synchronous DDP). Only surviving
-    // ranks participate in the all-reduce.
+    // ranks participate in the all-reduce — under disaggregation that is
+    // the trainer ranks [s, p): samplers hold no model replica.
     Timer timer;
     p_.model_.scale_grads(1.0f / static_cast<float>(active));
     p_.optimizer_->step(p_.model_.params());
     p_.model_.zero_grads();
     cluster.add_compute("propagation", max_prop + timer.seconds());
-    const std::vector<int> group = cluster.alive_ranks();
+    std::vector<int> group;
+    if (disagg) {
+      group.reserve(static_cast<std::size_t>(p_.disagg_.trainers));
+      for (int j = 0; j < p_.disagg_.trainers; ++j) {
+        group.push_back(p_.disagg_.trainer_rank(j));
+      }
+    } else {
+      group = cluster.alive_ranks();
+    }
     if (group.size() > 1) {
       cluster.record_comm(
           "propagation",

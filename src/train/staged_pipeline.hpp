@@ -77,6 +77,10 @@ class StagedPipeline {
   double sample_round(const BulkRound& round, std::uint64_t epoch_seed);
   double replicated_round(const BulkRound& round, std::uint64_t epoch_seed);
   double partitioned_round(const BulkRound& round, std::uint64_t epoch_seed);
+  /// kDisaggregated: samples on the sampler-role sub-cluster, drains its
+  /// clock into the main one, and streams the materialized samples to their
+  /// trainers as the modeled "handoff" comm phase.
+  double disaggregated_round(const BulkRound& round, std::uint64_t epoch_seed);
 
   /// Issues the feature fetch for step t; returns the simulated seconds.
   double fetch_step(index_t t, std::vector<DenseF>& gathered);

@@ -99,32 +99,6 @@ INSTANTIATE_TEST_SUITE_P(Grids, PartitionedLadiesSweep,
                                            GridParam{4, 2}, GridParam{8, 2},
                                            GridParam{16, 4}));
 
-TEST(PartitionedLadies, ChunkSizeDoesNotChangeResults) {
-  // The §8.2.2 column-extraction splitting is a memory optimization only.
-  Cluster c1 = make_cluster(4, 2);
-  Cluster c2 = make_cluster(4, 2);
-  const Graph g = generate_erdos_renyi(150, 10.0, 33);
-  const SamplerConfig cfg{{32}, 1};
-  const auto batches = make_batches(150, 4, 8);
-  std::vector<index_t> ids = {0, 1, 2, 3};
-
-  PartitionedSamplerOptions small_chunk;
-  small_chunk.ladies_extract_chunk = 4;
-  PartitionedSamplerOptions big_chunk;
-  big_chunk.ladies_extract_chunk = 1 << 20;
-
-  PartitionedLadiesSampler s1(g, c1.grid(), cfg, small_chunk);
-  PartitionedLadiesSampler s2(g, c2.grid(), cfg, big_chunk);
-  const auto r1 = s1.sample_bulk(c1, batches, ids, 5);
-  const auto r2 = s2.sample_bulk(c2, batches, ids, 5);
-  for (std::size_t i = 0; i < r1.size(); ++i) {
-    ASSERT_EQ(r1[i].size(), r2[i].size());
-    for (std::size_t b = 0; b < r1[i].size(); ++b) {
-      EXPECT_TRUE(r1[i][b].layers[0].adj == r2[i][b].layers[0].adj);
-    }
-  }
-}
-
 TEST(PartitionedSage, RecordsAllThreePhases) {
   Cluster cluster = make_cluster(4, 2);
   const Graph g = generate_erdos_renyi(128, 8.0, 34);

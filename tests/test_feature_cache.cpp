@@ -168,15 +168,18 @@ TEST(FeatureCache, StatsDeltaChecksSnapshotOrderInsteadOfWrapping) {
   // unsigned fields, so swapping the operands wrapped every counter into a
   // ~2^64 garbage delta that polluted epoch reports downstream. The
   // subtraction now checks per-field ordering.
-  FeatureCacheStats earlier{/*requested=*/10, /*hits=*/4, /*misses=*/5,
-                            /*local=*/1, /*bytes_moved=*/80, /*bytes_saved=*/64};
-  FeatureCacheStats later{/*requested=*/25, /*hits=*/12, /*misses=*/10,
-                          /*local=*/3, /*bytes_moved=*/160, /*bytes_saved=*/192};
+  FeatureCacheStats earlier{/*requested=*/10, /*hits=*/4,       /*misses=*/5,
+                            /*local=*/1,     /*pinned_hits=*/2, /*bytes_moved=*/80,
+                            /*bytes_saved=*/64};
+  FeatureCacheStats later{/*requested=*/25, /*hits=*/12,      /*misses=*/10,
+                          /*local=*/3,     /*pinned_hits=*/6, /*bytes_moved=*/160,
+                          /*bytes_saved=*/192};
   const FeatureCacheStats d = later - earlier;
   EXPECT_EQ(d.requested, 15u);
   EXPECT_EQ(d.hits, 8u);
   EXPECT_EQ(d.misses, 5u);
   EXPECT_EQ(d.local, 2u);
+  EXPECT_EQ(d.pinned_hits, 4u);
   EXPECT_EQ(d.bytes_moved, 80u);
   EXPECT_EQ(d.bytes_saved, 128u);
   EXPECT_THROW(earlier - later, DmsError);  // the swapped-operand bug
